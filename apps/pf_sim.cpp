@@ -1,0 +1,212 @@
+// pf_sim — run the flit-level network simulator from the command line:
+// one topology, one routing algorithm, one traffic pattern, one load or a
+// whole latency-vs-load sweep. The CLI twin of the Fig. 8-11 benches.
+//
+//   pf_sim --topology pf --q 13 --routing UGALPF --pattern uniform
+//          --loads 0.1:1.0:8 [--endpoints P] [--packet-size 4] [--vcs 16]
+//          [--buf 256] [--warmup C] [--measure C] [--drain C] [--seed S]
+//
+// Patterns: uniform | tornado | randperm | perm1hop | perm2hop | bitcomp
+// Routing:  MIN | VAL | CVAL | UGAL | UGALPF | NCA (fat tree only)
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "sim/deadlock.hpp"
+#include "sim/harness.hpp"
+#include "sim/network.hpp"
+#include "sim/routing.hpp"
+#include "sim/traffic.hpp"
+#include "topo/registry.hpp"
+#include "topo_args.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace pf::apps {
+namespace {
+
+int usage() {
+  std::printf(
+      "pf_sim --topology F [family params] --routing R --pattern P\n"
+      "       (--load X | --loads lo:hi:count)\n"
+      "\n"
+      "options:\n"
+      "  --endpoints N    endpoints per router (default: radix/2 balanced)\n"
+      "  --packet-size N  flits per packet (default 4)\n"
+      "  --vcs N          virtual channels per port (default 16)\n"
+      "  --buf N          flit buffer per port (default 256)\n"
+      "  --warmup/--measure/--drain C   phase lengths in cycles\n"
+      "  --seed S         simulation seed (default 42)\n"
+      "  --csv PATH       also write the sweep as CSV\n"
+      "  --check-deadlock verify the routing's channel-dependency graph\n"
+      "                   is acyclic instead of simulating\n"
+      "                   [--classes N] [--samples S]\n"
+      "\n"
+      "routing: MIN VAL CVAL UGAL UGALPF NCA(fattree)\n"
+      "patterns: uniform tornado randperm perm1hop perm2hop bitcomp\n"
+      "\ntopologies:\n%s",
+      topo::topology_usage().c_str());
+  return 2;
+}
+
+std::unique_ptr<sim::RoutingAlgorithm> make_routing(
+    const std::string& kind, const topo::TopologyInstance& inst,
+    const graph::Graph& g, const sim::DistanceOracle& oracle) {
+  if (kind == "MIN") return std::make_unique<sim::MinimalRouting>(g, oracle);
+  if (kind == "VAL") return std::make_unique<sim::ValiantRouting>(g, oracle);
+  if (kind == "CVAL") {
+    return std::make_unique<sim::CompactValiantRouting>(g, oracle);
+  }
+  if (kind == "UGAL") {
+    return std::make_unique<sim::UgalRouting>(g, oracle, false);
+  }
+  if (kind == "UGALPF") {
+    return std::make_unique<sim::UgalRouting>(g, oracle, true, 2.0 / 3.0);
+  }
+  if (kind == "NCA") {
+    if (!inst.fattree) {
+      throw util::CliError("--routing NCA requires --topology fattree");
+    }
+    return std::make_unique<sim::FatTreeNcaRouting>(*inst.fattree);
+  }
+  throw util::CliError("unknown --routing " + kind);
+}
+
+std::unique_ptr<sim::TrafficPattern> make_pattern(const std::string& kind,
+                                                  const graph::Graph& g,
+                                                  std::vector<int> terminals,
+                                                  std::uint64_t seed) {
+  using sim::PermutationTraffic;
+  if (kind == "uniform") {
+    return std::make_unique<sim::UniformTraffic>(std::move(terminals));
+  }
+  if (kind == "tornado") {
+    return std::make_unique<PermutationTraffic>(
+        PermutationTraffic::tornado(std::move(terminals)));
+  }
+  if (kind == "randperm") {
+    return std::make_unique<PermutationTraffic>(
+        PermutationTraffic::random(std::move(terminals), seed));
+  }
+  if (kind == "perm1hop" || kind == "perm2hop") {
+    const int distance = kind == "perm1hop" ? 1 : 2;
+    return std::make_unique<PermutationTraffic>(
+        PermutationTraffic::at_distance(g, std::move(terminals), distance,
+                                        seed));
+  }
+  if (kind == "bitcomp") {
+    return std::make_unique<PermutationTraffic>(
+        PermutationTraffic::bit_complement(std::move(terminals)));
+  }
+  throw util::CliError("unknown --pattern " + kind);
+}
+
+int run(int argc, char** argv) {
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
+  if (!args.has("topology")) return usage();
+
+  const auto inst = topology_from_args(args);
+  const int p = static_cast<int>(
+      args.integer_or("endpoints", inst.default_concentration()));
+  const auto endpoints = inst.endpoints(p);
+
+  sim::SimConfig config;
+  config.packet_size = static_cast<int>(args.integer_or("packet-size", 4));
+  config.vcs = static_cast<int>(args.integer_or("vcs", 16));
+  config.buf_per_port = static_cast<int>(args.integer_or("buf", 256));
+  config.warmup_cycles = static_cast<int>(args.integer_or("warmup", 3000));
+  config.measure_cycles = static_cast<int>(args.integer_or("measure", 4000));
+  config.drain_cycles = static_cast<int>(args.integer_or("drain", 8000));
+  config.seed = static_cast<std::uint64_t>(args.integer_or("seed", 42));
+
+  const sim::DistanceOracle oracle(inst.graph);
+  const auto routing =
+      make_routing(args.str_or("routing", "MIN"), inst, inst.graph, oracle);
+  const auto pattern =
+      make_pattern(args.str_or("pattern", "uniform"), inst.graph,
+                   sim::terminal_routers(endpoints), config.seed);
+
+  if (args.has("check-deadlock")) {
+    // Dally-Seitz check instead of a simulation: build the channel
+    // dependency graph of the chosen scheme under its (or --classes')
+    // VC-class budget and report acyclicity. Adaptive schemes are checked
+    // on an idle network, which exercises their minimal branch; their
+    // detour branches are the VAL/CVAL schemes, checkable directly.
+    const int classes = static_cast<int>(
+        args.integer_or("classes", routing->max_hops()));
+    const sim::Network idle(inst.graph,
+                            std::vector<int>(inst.graph.num_vertices(), 1),
+                            *routing, *pattern, sim::SimConfig{}, 0.0);
+    const auto check = sim::check_channel_dependencies(
+        inst.graph,
+        [&](int s, int d, util::Rng& rng, sim::Route& out) {
+          out.clear();
+          // Only terminal pairs carry traffic (fat-tree transit switches
+          // never source or sink packets).
+          if (endpoints[s] == 0 || endpoints[d] == 0) return;
+          routing->route(idle, s, d, rng, out);
+        },
+        static_cast<int>(args.integer_or("samples", 2)), classes,
+        config.seed);
+    const std::string cycle_note =
+        check.acyclic ? ""
+                      : ", " + std::to_string(check.cycle_length) +
+                            " nodes in cycles";
+    std::printf(
+        "%s / %s with %d VC class(es): %s (%d dependency nodes, %lld "
+        "edges%s)\n",
+        inst.label.c_str(), routing->name().c_str(), classes,
+        check.acyclic ? "deadlock-free (acyclic CDG)" : "CYCLIC - unsafe",
+        check.nodes, static_cast<long long>(check.edges),
+        cycle_note.c_str());
+    return check.acyclic ? 0 : 1;
+  }
+
+  std::vector<double> loads;
+  if (args.has("loads")) {
+    loads = util::parse_range(args.str("loads"));
+  } else {
+    loads = {args.real_or("load", 0.5)};
+  }
+
+  const std::string label = inst.label + " / " + routing->name() + " / " +
+                            pattern->name() + " (p=" + std::to_string(p) +
+                            ")";
+  const auto sweep = sim::sweep_loads(inst.graph, endpoints, *routing,
+                                      *pattern, config, loads, label);
+
+  util::print_banner(sweep.label);
+  util::Table table({"offered", "accepted", "avg_latency", "p99_latency",
+                     "stable"});
+  for (const auto& point : sweep.points) {
+    table.row(point.offered, point.accepted, point.avg_latency,
+              point.p99_latency, point.converged ? "yes" : "no");
+  }
+  table.print();
+  std::printf("saturation throughput: %.3f flits/cycle/endpoint\n",
+              sweep.saturation());
+
+  const std::string csv = args.str_or("csv", "");
+  if (!csv.empty() && !table.write_csv(csv)) {
+    std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+    return 1;
+  }
+
+  for (const auto& key : args.unused_keys()) {
+    std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pf::apps
+
+int main(int argc, char** argv) {
+  try {
+    return pf::apps::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pf_sim: %s\n", e.what());
+    return 1;
+  }
+}

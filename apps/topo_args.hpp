@@ -1,0 +1,29 @@
+// Shared app helper: build a TopologyInstance from --topology and its
+// per-family parameter flags (see topo::topology_usage()).
+#pragma once
+
+#include <string>
+
+#include "topo/registry.hpp"
+#include "util/cli.hpp"
+
+namespace pf::apps {
+
+/// Collects the registry parameter flags present in `args` and constructs
+/// the topology. Throws util::CliError / std::invalid_argument with a
+/// user-facing message on bad input.
+inline topo::TopologyInstance topology_from_args(const util::CliArgs& args) {
+  const std::string family = args.str("topology");
+  topo::TopologyParams params;
+  for (const char* key :
+       {"q", "a", "b", "h", "p", "n", "k", "d", "lift", "arity", "levels",
+        "seed"}) {
+    if (args.has(key)) params[key] = args.integer(key);
+  }
+  // "p" doubles as the endpoint flag of pf_sim; only dragonfly consumes it
+  // as a structural parameter.
+  if (family != "dragonfly") params.erase("p");
+  return topo::make_topology(family, params);
+}
+
+}  // namespace pf::apps

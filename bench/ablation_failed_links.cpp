@@ -1,0 +1,56 @@
+// Ablation: traffic performance on a damaged PolarFly. Random link
+// failures raise the diameter (2 -> 3/4, Fig. 14); table-based routing
+// recomputed on the surviving graph keeps the network serving traffic with
+// modest latency/throughput loss — the operational complement to the
+// purely structural resilience figure.
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/algos.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace pf;
+  const std::uint32_t q = bench::full_scale() ? 31 : 13;
+  const int p = bench::full_scale() ? 16 : 7;
+  const core::PolarFly pf(q);
+  std::printf("PolarFly q=%u (%d routers), uniform traffic\n", q,
+              pf.num_vertices());
+
+  util::print_banner("performance vs failed-link fraction");
+  util::Table table({"failed", "diameter", "routing", "saturation",
+                     "latency @ 0.3"});
+  for (const int pct : {0, 5, 10, 20, 30}) {
+    auto edges = pf.graph().edge_list();
+    util::Rng rng(0xdead11ULL + pct);
+    util::shuffle(edges, rng);
+    edges.resize(edges.size() * pct / 100);
+    const graph::Graph damaged = pf.graph().without_edges(edges);
+    if (!graph::is_connected(damaged)) {
+      table.row(pct / 100.0, "-", "-", "disconnected", "-");
+      continue;
+    }
+    const auto stats = graph::all_pairs_stats(damaged);
+
+    bench::NetSetup setup;
+    setup.name = "PF-damaged";
+    setup.graph = damaged;
+    setup.endpoints = sim::uniform_endpoints(damaged.num_vertices(), p);
+    setup.oracle = std::make_unique<sim::DistanceOracle>(damaged);
+    const sim::UniformTraffic pattern(setup.terminals());
+    for (const char* kind : {"MIN", "UGALPF"}) {
+      const auto routing = bench::make_routing(setup, kind);
+      const auto sweep = sim::sweep_loads(
+          setup.graph, setup.endpoints, *routing, pattern,
+          bench::bench_sim_config(), sim::load_steps(0.3, 0.9, 4), "dmg");
+      table.row(pct / 100.0, stats.diameter, kind, sweep.saturation(),
+                sweep.points.front().avg_latency);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nRouting tables are recomputed on the surviving graph (the paper's "
+      "table-based scheme); minimal paths lengthen\nwith the diameter but "
+      "the Theta(q^2) path diversity keeps both schemes serving traffic.\n");
+  return 0;
+}

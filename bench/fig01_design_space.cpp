@@ -1,0 +1,37 @@
+// Fig. 1: the number of feasible network radixes of Slim Fly, PolarFly and
+// PolarFly+ (the combined PolarFly + Slim Fly design space) below each
+// radix budget. Paper values: SF 6/11/17/19/26/32, PF 9/17/22/26/34/43,
+// PF+ 12/23/33/39/53/68.
+#include <cstdio>
+
+#include "core/feasibility.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pf;
+  util::print_banner(
+      "Fig. 1 - design space of feasible network radixes (diameter 2)");
+  util::Table table({"radix <=", "Slim Fly", "PolarFly", "PolarFly+",
+                     "paper SF", "paper PF", "paper PF+"});
+  const int paper_sf[] = {6, 11, 17, 19, 26, 32};
+  const int paper_pf[] = {9, 17, 22, 26, 34, 43};
+  const int paper_pfp[] = {12, 23, 33, 39, 53, 68};
+  const std::uint32_t budgets[] = {16, 32, 48, 64, 96, 128};
+  for (int i = 0; i < 6; ++i) {
+    const auto k = budgets[i];
+    table.row(k, core::slimfly_radixes_formula(k).size(),
+              core::polarfly_radixes(k).size(),
+              core::polarfly_plus_radixes(k).size(), paper_sf[i],
+              paper_pf[i], paper_pfp[i]);
+  }
+  table.print();
+
+  util::print_banner("feasible PolarFly configurations up to radix 128");
+  util::Table configs({"q", "radix", "routers", "Moore efficiency"});
+  for (const auto& config : core::polarfly_configs(128)) {
+    configs.row(config.q, config.radix, config.nodes,
+                config.moore_efficiency);
+  }
+  configs.print();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 2: Moore-bound efficiency (N / (k^2 + 1)) of the direct diameter-2
+// topologies as a function of network radix: PolarFly approaches 100%,
+// Slim Fly 8/9, HyperX ~25%; Petersen and Hoffman-Singleton are the two
+// known 100% points.
+#include <cstdio>
+
+#include "core/feasibility.hpp"
+#include "graph/algos.hpp"
+#include "topo/hyperx.hpp"
+#include "topo/moore_graphs.hpp"
+#include "topo/slimfly.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pf;
+  util::print_banner("Fig. 2 - % of diameter-2 Moore bound vs radix");
+
+  util::Table table({"series", "radix", "routers", "% of Moore bound"});
+  for (const auto& config : core::polarfly_configs(128)) {
+    table.row("PolarFly", config.radix, config.nodes,
+              100.0 * config.moore_efficiency);
+  }
+  for (const auto& config : topo::slimfly_configs(128)) {
+    table.row("SlimFly", config.radix, config.nodes,
+              100.0 * config.moore_efficiency);
+  }
+  for (const auto& config : topo::hyperx_configs(128)) {
+    if (config.radix % 8 == 0) {  // thin out the dense series
+      table.row("HyperX", config.radix, config.nodes,
+                100.0 * config.moore_efficiency);
+    }
+  }
+  const graph::Graph petersen = topo::petersen_graph();
+  table.row("Petersen", 3, petersen.num_vertices(),
+            100.0 * petersen.num_vertices() /
+                static_cast<double>(core::moore_bound(3)));
+  const graph::Graph hs = topo::hoffman_singleton_graph();
+  table.row("Hoffman-Singleton", 7, hs.num_vertices(),
+            100.0 * hs.num_vertices() /
+                static_cast<double>(core::moore_bound(7)));
+  table.print();
+
+  std::printf(
+      "\nPolarFly asymptote: (q^2+q+1)/(q^2+2q+2) -> 1; SlimFly "
+      "asymptote: 8/9; HyperX asymptote: 1/4.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 8: latency vs offered load for PolarFly and the baseline topologies
+// under (a) uniform/minimal, (b) uniform/adaptive, (c) random permutation,
+// (d) tornado. Default runs reduced-scale twins of the Tab. V
+// configurations (PF_BENCH_FULL=1 for paper scale); see EXPERIMENTS.md for
+// the shape comparison.
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace pf;
+using bench::NetSetup;
+
+void run_series(const std::vector<NetSetup>& setups,
+                const std::string& pattern_kind,
+                const std::vector<std::pair<std::string, std::string>>&
+                    series /* (setup name, routing) */) {
+  const auto loads = bench::default_loads();
+  for (const auto& [name, routing_kind] : series) {
+    const NetSetup* setup = nullptr;
+    for (const auto& candidate : setups) {
+      if (candidate.name == name) setup = &candidate;
+    }
+    if (setup == nullptr) continue;
+    const auto routing = bench::make_routing(*setup, routing_kind);
+    std::unique_ptr<sim::TrafficPattern> pattern;
+    if (pattern_kind == "uniform") {
+      pattern = std::make_unique<sim::UniformTraffic>(setup->terminals());
+    } else if (pattern_kind == "random_perm") {
+      pattern = std::make_unique<sim::PermutationTraffic>(
+          sim::PermutationTraffic::random(setup->terminals(), 0xfeedULL));
+    } else {
+      pattern = std::make_unique<sim::PermutationTraffic>(
+          sim::PermutationTraffic::tornado(setup->terminals()));
+    }
+    const auto sweep =
+        sim::sweep_loads(setup->graph, setup->endpoints, *routing, *pattern,
+                         bench::bench_sim_config(), loads,
+                         name + "-" + routing->name());
+    bench::print_sweep(sweep);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto setups = bench::make_table5_setups();
+  std::printf("scale: %s (set PF_BENCH_FULL=1 for Tab. V scale)\n",
+              bench::full_scale() ? "paper (Tab. V)" : "reduced");
+
+  util::print_banner("Fig. 8a - uniform traffic, minimal routing");
+  run_series(setups, "uniform",
+             {{"PF", "MIN"},
+              {"SF", "MIN"},
+              {"DF1", "MIN"},
+              {"DF2", "MIN"},
+              {"FT", "NCA"},
+              {"JF", "MIN"}});
+
+  util::print_banner("Fig. 8b - uniform traffic, adaptive routing");
+  run_series(setups, "uniform",
+             {{"PF", "UGAL"},
+              {"PF", "UGALPF"},
+              {"SF", "UGAL"},
+              {"DF1", "UGAL"},
+              {"DF2", "UGAL"},
+              {"FT", "NCA"},
+              {"JF", "UGAL"}});
+
+  util::print_banner("Fig. 8c - random permutation traffic");
+  run_series(setups, "random_perm",
+             {{"PF", "UGAL"},
+              {"PF", "UGALPF"},
+              {"SF", "UGAL"},
+              {"DF1", "UGAL"},
+              {"DF2", "UGAL"},
+              {"FT", "NCA"},
+              {"JF", "UGAL"}});
+
+  util::print_banner("Fig. 8d - tornado permutation traffic");
+  run_series(setups, "tornado",
+             {{"PF", "UGAL"},
+              {"PF", "UGALPF"},
+              {"SF", "UGAL"},
+              {"DF1", "UGAL"},
+              {"DF2", "UGAL"},
+              {"FT", "NCA"},
+              {"JF", "UGAL"}});
+  return 0;
+}

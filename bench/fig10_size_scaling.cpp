@@ -1,0 +1,35 @@
+// Fig. 10: PolarFly performance across network sizes under uniform
+// traffic. Balanced configurations keep endpoints : radix at 1 : 2, and
+// latency/saturation stay essentially flat with size — the scaling
+// stability claim.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+int main() {
+  using namespace pf;
+  const std::vector<std::uint32_t> orders =
+      bench::full_scale() ? std::vector<std::uint32_t>{13, 19, 25, 31}
+                          : std::vector<std::uint32_t>{7, 9, 11, 13};
+  const auto loads = bench::default_loads();
+
+  for (const char* kind : {"MIN", "UGALPF"}) {
+    util::print_banner(std::string("Fig. 10 - uniform traffic, ") + kind +
+                       " routing");
+    for (const std::uint32_t q : orders) {
+      const int p = (q + 1) / 2;  // balanced 1:2 endpoints : radix
+      auto setup = bench::make_polarfly_setup(
+          q, p, "PF" + std::to_string(q));
+      const sim::UniformTraffic pattern(setup.terminals());
+      const auto routing = bench::make_routing(setup, kind);
+      const auto sweep = sim::sweep_loads(
+          setup.graph, setup.endpoints, *routing, pattern,
+          bench::bench_sim_config(), loads,
+          setup.name + "-" + kind + " (" +
+              std::to_string(setup.graph.num_vertices()) + " routers)");
+      bench::print_sweep(sweep);
+    }
+  }
+  return 0;
+}

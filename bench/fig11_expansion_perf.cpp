@@ -1,0 +1,68 @@
+// Fig. 11: incrementally expanded PolarFly under uniform traffic with
+// UGAL-PF routing. Quadric replication keeps diameter 2 but skews the
+// degree distribution (throughput sags as replicas pile up); non-quadric
+// replication spreads new links nearly uniformly and loses little
+// throughput after the first replication.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/expansion.hpp"
+
+namespace {
+
+using namespace pf;
+
+void run_expansion(const core::PolarFly& pf, const core::Layout& layout,
+                   bool quadric, int p, const std::vector<int>& steps) {
+  const auto loads = bench::default_loads();
+  {
+    // Baseline: unexpanded network.
+    auto setup = bench::make_polarfly_setup(pf.q(), p, "PF");
+    const sim::UniformTraffic pattern(setup.terminals());
+    const auto routing = bench::make_routing(setup, "UGALPF");
+    bench::print_sweep(sim::sweep_loads(
+        setup.graph, setup.endpoints, *routing, pattern,
+        bench::bench_sim_config(), loads, "PF-UGALPF (base)"));
+  }
+  for (const int n : steps) {
+    const auto expanded = quadric ? core::expand_quadric(pf, layout, n)
+                                  : core::expand_nonquadric(pf, layout, n);
+    const int growth_pct =
+        100 * (expanded.graph.num_vertices() - pf.num_vertices()) /
+        pf.num_vertices();
+    bench::NetSetup setup;
+    setup.name = "PF+" + std::to_string(growth_pct) + "%";
+    setup.graph = expanded.graph;
+    setup.endpoints =
+        sim::uniform_endpoints(setup.graph.num_vertices(), p);
+    setup.oracle = std::make_unique<sim::DistanceOracle>(setup.graph);
+    const sim::UniformTraffic pattern(setup.terminals());
+    const auto routing = bench::make_routing(setup, "UGALPF");
+    bench::print_sweep(sim::sweep_loads(
+        setup.graph, setup.endpoints, *routing, pattern,
+        bench::bench_sim_config(), loads,
+        setup.name + "-UGALPF (" + (quadric ? "quadric" : "non-quadric") +
+            ", n=" + std::to_string(n) + ")"));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace pf;
+  const std::uint32_t q = bench::full_scale() ? 31 : 13;
+  const int p = bench::full_scale() ? 16 : 7;
+  const std::vector<int> steps = bench::full_scale()
+                                     ? std::vector<int>{3, 6, 9, 12}
+                                     : std::vector<int>{1, 2, 3, 4};
+  const core::PolarFly pf(q);
+  const core::Layout layout = core::make_layout(pf);
+  std::printf("base: ER_%u (%d routers), p=%d\n", q, pf.num_vertices(), p);
+
+  util::print_banner("Fig. 11a - quadric cluster replication");
+  run_expansion(pf, layout, /*quadric=*/true, p, steps);
+
+  util::print_banner("Fig. 11b - non-quadric cluster replication");
+  run_expansion(pf, layout, /*quadric=*/false, p, steps);
+  return 0;
+}

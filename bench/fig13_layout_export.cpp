@@ -1,0 +1,91 @@
+// Fig. 13: the layered renders of ER_17 and ER_19. Exports Graphviz DOT
+// files (quadrics red, centers light green, V1 green, V2 blue, cluster
+// edges emphasized by the layered positions) and prints the fan structure
+// the figure visualizes: q=1 mod 4 pairs V1 with V1 and V2 with V2 inside
+// a cluster; q=3 mod 4 pairs V1 with V2.
+#include <cstdio>
+#include <string>
+
+#include "core/layout.hpp"
+#include "graph/export.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pf;
+  util::print_banner("Fig. 13 - ER_17 / ER_19 layout export");
+  util::Table table({"q", "q mod 4", "clusters", "fan blades/cluster",
+                     "blade pairing", "dot file"});
+  for (const std::uint32_t q : {17u, 19u}) {
+    const core::PolarFly pf(q);
+    const core::Layout layout = core::make_layout(pf);
+
+    std::vector<graph::DotVertexStyle> styles(pf.num_vertices());
+    for (int v = 0; v < pf.num_vertices(); ++v) {
+      switch (pf.vertex_class(v)) {
+        case core::VertexClass::Quadric:
+          styles[v].color = "red";
+          break;
+        case core::VertexClass::V1:
+          styles[v].color = "green";
+          break;
+        case core::VertexClass::V2:
+          styles[v].color = "blue";
+          break;
+      }
+      const int c = layout.cluster_of[v];
+      styles[v].label = "C" + std::to_string(c);
+      // Layered positions: cluster index on x, class layer on y.
+      const double x = 3.0 * c;
+      const double y = pf.vertex_class(v) == core::VertexClass::Quadric
+                           ? 6.0
+                           : (pf.vertex_class(v) == core::VertexClass::V1
+                                  ? 3.0
+                                  : 0.0);
+      styles[v].position =
+          std::to_string(x) + "," + std::to_string(y) + "!";
+    }
+    for (std::size_t c = 1; c < layout.clusters.size(); ++c) {
+      styles[layout.centers[c]].color = "lightgreen";
+    }
+    const std::string path = "er" + std::to_string(q) + "_layout.dot";
+    graph::write_dot(pf.graph(), path, styles, "ER" + std::to_string(q));
+
+    // Blade pairing census: the non-center intra-cluster edges.
+    int v1v1 = 0;
+    int v1v2 = 0;
+    int v2v2 = 0;
+    for (std::size_t c = 1; c < layout.clusters.size(); ++c) {
+      for (const int v : layout.clusters[c]) {
+        if (v == layout.centers[c]) continue;
+        for (const std::int32_t u : pf.graph().neighbors(v)) {
+          if (u <= v || layout.cluster_of[u] != static_cast<int>(c) ||
+              u == layout.centers[c]) {
+            continue;
+          }
+          const bool av1 = pf.vertex_class(v) == core::VertexClass::V1;
+          const bool bv1 = pf.vertex_class(u) == core::VertexClass::V1;
+          if (av1 && bv1) {
+            ++v1v1;
+          } else if (!av1 && !bv1) {
+            ++v2v2;
+          } else {
+            ++v1v2;
+          }
+        }
+      }
+    }
+    std::string pairing;
+    if (v1v2 == 0) {
+      pairing = "V1-V1 and V2-V2 (no vertical edges)";
+    } else if (v1v1 == 0 && v2v2 == 0) {
+      pairing = "V1-V2 (vertical edges)";
+    } else {
+      pairing = "mixed";
+    }
+    table.row(q, q % 4, layout.clusters.size(), (q - 1) / 2, pairing, path);
+  }
+  table.print();
+  std::printf(
+      "\nRender with: neato -n2 -Tsvg er17_layout.dot > er17.svg\n");
+  return 0;
+}

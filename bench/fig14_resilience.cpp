@@ -1,0 +1,97 @@
+// Fig. 14: fault tolerance — network diameter and average shortest path
+// length as links fail, and the disconnection point. For each topology,
+// random link-failure runs remove edges in a random order; the run with
+// the median disconnection ratio is reported ratio-by-ratio, as in the
+// paper.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/algos.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pf;
+
+/// Fraction of removed links at which the graph first disconnects, given
+/// a random edge removal order (resolution: steps of 2%).
+double disconnection_ratio(const graph::Graph& g,
+                           std::vector<std::pair<std::int32_t, std::int32_t>>
+                               order) {
+  const std::size_t total = order.size();
+  for (int pct = 2; pct <= 100; pct += 2) {
+    const std::size_t removed = total * pct / 100;
+    const graph::Graph damaged = g.without_edges(
+        {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(removed)});
+    if (!graph::is_connected(damaged)) return pct / 100.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pf;
+  const int runs = bench::full_scale() ? 100 : 12;
+  const auto setups = bench::make_table5_setups();
+  std::printf("runs per topology: %d\n", runs);
+
+  util::print_banner("Fig. 14 - disconnection ratio (median over runs)");
+  util::Table summary({"network", "routers", "links", "median disconnect"});
+
+  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>>
+      median_orders;
+  for (const auto& setup : setups) {
+    std::vector<double> ratios(runs);
+    std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> orders(
+        runs);
+    for (int r = 0; r < runs; ++r) {
+      orders[r] = setup.graph.edge_list();
+      util::Rng rng(0xfa11ULL + 977 * r);
+      util::shuffle(orders[r], rng);
+    }
+    util::parallel_for(0, static_cast<std::size_t>(runs), [&](std::size_t r) {
+      ratios[r] = disconnection_ratio(setup.graph, orders[r]);
+    });
+    // Median run (by disconnection ratio).
+    std::vector<int> index(runs);
+    for (int r = 0; r < runs; ++r) index[r] = r;
+    std::sort(index.begin(), index.end(), [&](const int a, const int b) {
+      return ratios[a] < ratios[b];
+    });
+    const int median = index[runs / 2];
+    summary.row(setup.name, setup.graph.num_vertices(),
+                setup.graph.num_edges(), ratios[median]);
+    median_orders.push_back(orders[median]);
+  }
+  summary.print();
+
+  util::print_banner(
+      "Fig. 14 - diameter / avg path length vs link failure ratio (median "
+      "run)");
+  util::Table detail({"network", "failure ratio", "diameter", "avg path",
+                      "connected"});
+  for (std::size_t i = 0; i < setups.size(); ++i) {
+    const auto& setup = setups[i];
+    const auto& order = median_orders[i];
+    for (int pct = 0; pct <= 70; pct += 10) {
+      const std::size_t removed = order.size() * pct / 100;
+      const graph::Graph damaged = setup.graph.without_edges(
+          {order.begin(),
+           order.begin() + static_cast<std::ptrdiff_t>(removed)});
+      const auto stats = graph::all_pairs_stats(damaged);
+      detail.row(setup.name, pct / 100.0, stats.diameter,
+                 stats.avg_path_length, stats.connected ? "yes" : "NO");
+      if (!stats.connected) break;
+    }
+  }
+  detail.print();
+  std::printf(
+      "\nPaper: PolarFly's diameter jumps to 4 with ~5%% failures (no 2/3-"
+      "hop backup between quadrics and neighbors)\nbut stays at 4 beyond "
+      "55%% failures thanks to Theta(q^2) length-4 path diversity "
+      "(Tab. VI).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 15: network cost per node under iso-injection-bandwidth at ~1,024
+// nodes, normalized to PolarFly, for uniform and permutation traffic. The
+// analytic optical-IO port model of SS X (see topo/cost.hpp); paper values
+// printed alongside.
+#include <cstdio>
+
+#include "topo/cost.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pf;
+  const auto inputs = topo::paper_cost_inputs();
+  const auto rows = topo::evaluate_cost(inputs);
+
+  util::print_banner("Fig. 15 - model inputs");
+  util::Table in_table({"topology", "routers", "nodes", "ports/router",
+                        "node ports", "sat uniform", "sat permutation"});
+  for (const auto& in : inputs) {
+    in_table.row(in.topology, in.routers, in.nodes, in.ports_per_router,
+                 in.node_injection_ports, in.sat_uniform,
+                 in.sat_permutation);
+  }
+  in_table.print();
+
+  util::print_banner(
+      "Fig. 15 - normalized cost per node (iso injection bandwidth)");
+  util::Table table({"topology", "OIO ports/node", "cost uniform",
+                     "cost permutation", "paper uniform",
+                     "paper permutation"});
+  const double paper_uniform[] = {1.0, 1.24, 1.81, 5.19};
+  const double paper_perm[] = {1.0, 1.21, 2.25, 2.68};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.row(rows[i].topology, rows[i].ports_per_node,
+              rows[i].cost_uniform, rows[i].cost_permutation,
+              paper_uniform[i], paper_perm[i]);
+  }
+  table.print();
+  std::printf(
+      "\nCost = optical ports per (1,024-normalized) node / saturation "
+      "fraction, relative to PolarFly.\nFat-tree ports include the 10-level "
+      "switch complex (shoreline-limited radix-32 switches joining two\n"
+      "16-link bundles) plus two node-side OIOs.\n");
+  return 0;
+}

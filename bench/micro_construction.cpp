@@ -1,0 +1,79 @@
+// Microbenchmarks: construction and algebra throughput — ER_q build time,
+// finite-field operations, the cross-product intermediate lookup (SS IV-D
+// claims ~2 multiplies + 3 adds plus normalization), layout, and the
+// all-pairs distance oracle.
+#include <benchmark/benchmark.h>
+
+#include "core/layout.hpp"
+#include "core/polarfly.hpp"
+#include "galois/field.hpp"
+#include "sim/routing.hpp"
+#include "topo/slimfly.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_PolarFlyBuild(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    pf::core::PolarFly pf(q);
+    benchmark::DoNotOptimize(pf.num_vertices());
+  }
+  state.SetLabel("N=" + std::to_string(q * q + q + 1));
+}
+BENCHMARK(BM_PolarFlyBuild)->Arg(13)->Arg(31)->Arg(61)->Arg(127);
+
+void BM_SlimFlyBuild(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    pf::topo::SlimFly sf(q);
+    benchmark::DoNotOptimize(sf.num_vertices());
+  }
+  state.SetLabel("N=" + std::to_string(2 * q * q));
+}
+BENCHMARK(BM_SlimFlyBuild)->Arg(13)->Arg(23)->Arg(43);
+
+void BM_FieldMul(benchmark::State& state) {
+  const pf::gf::Field field(static_cast<std::uint32_t>(state.range(0)));
+  const std::uint32_t q = field.order();
+  std::uint32_t a = 1;
+  std::uint32_t b = q - 1;
+  for (auto _ : state) {
+    a = field.mul(a, b) | 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul)->Arg(31)->Arg(32)->Arg(121);
+
+void BM_Intermediate(benchmark::State& state) {
+  const pf::core::PolarFly pf(static_cast<std::uint32_t>(state.range(0)));
+  pf::util::Rng rng(7);
+  const int n = pf.num_vertices();
+  for (auto _ : state) {
+    const int s = static_cast<int>(rng.below(n));
+    int d = s;
+    while (d == s) d = static_cast<int>(rng.below(n));
+    benchmark::DoNotOptimize(pf.intermediate(s, d));
+  }
+}
+BENCHMARK(BM_Intermediate)->Arg(31)->Arg(127);
+
+void BM_Layout(benchmark::State& state) {
+  const pf::core::PolarFly pf(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto layout = pf::core::make_layout(pf);
+    benchmark::DoNotOptimize(layout.clusters.size());
+  }
+}
+BENCHMARK(BM_Layout)->Arg(31)->Arg(61);
+
+void BM_DistanceOracle(benchmark::State& state) {
+  const pf::core::PolarFly pf(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    const pf::sim::DistanceOracle oracle(pf.graph());
+    benchmark::DoNotOptimize(oracle.diameter());
+  }
+}
+BENCHMARK(BM_DistanceOracle)->Arg(13)->Arg(31);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Tab. I: qualitative feasibility matrix of candidate data-center
+// topologies (SS III). The judgments are the paper's; where a criterion is
+// mechanically checkable from our constructions (diameter, direct/indirect)
+// the value is computed and cross-checked.
+#include <cstdio>
+
+#include "graph/algos.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/hyperx.hpp"
+#include "topo/slimfly.hpp"
+#include "core/polarfly.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pf;
+  util::print_banner("Tab. I - feasibility of candidate topologies");
+  util::Table table(
+      {"topology", "direct", "modular", "expandable", "flexible",
+       "diameter-2"});
+  table.row("Fat tree", "no", "full", "full", "full", "no");
+  table.row("Dragonfly", "partial", "full", "full", "partial", "no");
+  table.row("HyperX", "partial", "full", "full", "partial", "full");
+  table.row("OFT", "no", "partial", "no", "full", "full");
+  table.row("MLFM", "no", "full", "no", "partial", "full");
+  table.row("Slim Fly", "full", "full", "partial", "partial", "full");
+  table.row("PolarFly", "full", "full", "partial", "full", "full");
+  table.print();
+
+  // Mechanical cross-checks of the diameter column.
+  util::print_banner("diameter cross-checks (computed)");
+  util::Table checks({"topology", "instance", "diameter"});
+  checks.row("PolarFly", "ER_11",
+             graph::all_pairs_stats(core::PolarFly(11).graph()).diameter);
+  checks.row("Slim Fly", "MMS(11)",
+             graph::all_pairs_stats(topo::SlimFly(11).graph()).diameter);
+  checks.row("HyperX", "K6xK6",
+             graph::all_pairs_stats(topo::HyperX(6, 6).graph()).diameter);
+  checks.row("Dragonfly", "(8,4,4)",
+             graph::all_pairs_stats(topo::Dragonfly(8, 4, 4).graph())
+                 .diameter);
+  checks.row("Fat tree (switch hops)", "3-level, k=6",
+             graph::all_pairs_stats(topo::FatTree(3, 6).graph()).diameter);
+  checks.print();
+
+  std::printf(
+      "\nCriteria: direct = one co-packaged chip type suffices; modular = "
+      "decomposable into identical racks;\nexpandable = incremental growth "
+      "without rewiring; flexible = many feasible radixes (Fig. 1);\n"
+      "diameter-2 = worst-case two hops between routers.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Tab. II + Tab. III: the distribution of inter-cluster triangles by
+// (V1, V2) composition, and the class of the intermediate vertex of the
+// alternative 2-hop path between adjacent non-quadric vertices. Also
+// verifies Propositions V.5/V.6 and the Theorem V.7 block design.
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pf;
+  const std::vector<std::uint32_t> orders = {5, 7, 9, 11, 13, 17, 19, 23,
+                                             25, 27, 29, 31};
+
+  util::print_banner(
+      "Tab. II - inter-cluster triangle distribution (measured == formula)");
+  util::Table table({"q", "q mod 4", "total", "intra", "inter", "(v1,v1,v1)",
+                     "(v1,v1,v2)", "(v1,v2,v2)", "(v2,v2,v2)",
+                     "block design"});
+  for (const std::uint32_t q : orders) {
+    const core::PolarFly pf(q);
+    const core::Layout layout = core::make_layout(pf);
+    const auto census = core::triangle_census(pf, layout);
+    const auto expected = core::expected_triangle_distribution(q);
+    const bool match = census.by_type[0] == expected.v1v1v1 &&
+                       census.by_type[1] == expected.v1v1v2 &&
+                       census.by_type[2] == expected.v1v2v2 &&
+                       census.by_type[3] == expected.v2v2v2;
+    table.row(q, q % 4, census.total, census.intra_cluster,
+              census.inter_cluster, census.by_type[0], census.by_type[1],
+              census.by_type[2], census.by_type[3],
+              census.block_design && match ? "3-(q,3,1) ok" : "MISMATCH");
+  }
+  table.print();
+
+  util::print_banner(
+      "Tab. III - intermediate vertex class between adjacent non-quadrics");
+  util::Table inter({"q", "q mod 4", "(v1,v1)->", "(v1,v2)->", "(v2,v2)->",
+                     "uniform"});
+  for (const std::uint32_t q : orders) {
+    const core::PolarFly pf(q);
+    const auto census = core::intermediate_type_census(pf);
+    auto cell = [&census](int a, int b) -> std::string {
+      const bool v1 = census.counts[a][b][0] > 0;
+      const bool v2 = census.counts[a][b][1] > 0;
+      if (v1 && v2) return "mixed";
+      if (v1) return "v1";
+      if (v2) return "v2";
+      return "-";
+    };
+    inter.row(q, q % 4, cell(0, 0), cell(0, 1), cell(1, 1),
+              census.uniform ? "yes" : "NO");
+  }
+  inter.print();
+  std::printf(
+      "\nPaper: q=1 mod 4 -> (v1,v1)->v1, (v1,v2)->v2, (v2,v2)->v1;\n"
+      "       q=3 mod 4 -> (v1,v1)->v2, (v1,v2)->v1, (v2,v2)->v2.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Tab. V: the simulated network configurations. Constructs each topology
+// at paper scale and verifies router counts and network radixes against
+// the table.
+#include <cstdio>
+
+#include "core/polarfly.hpp"
+#include "graph/algos.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/slimfly.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pf;
+  util::print_banner("Tab. V - simulated configurations (paper scale)");
+  util::Table table({"network", "parameters", "routers", "net radix",
+                     "paper routers", "paper radix", "diameter"});
+
+  const core::PolarFly pf(31);
+  table.row("PolarFly (PF)", "q=31, p=16", pf.num_vertices(), pf.radix(),
+            993, 32, graph::all_pairs_stats(pf.graph()).diameter);
+
+  const topo::SlimFly sf(23);
+  table.row("Slim Fly (SF)", "q=23, p=18", sf.num_vertices(), sf.radix(),
+            1058, 35, graph::all_pairs_stats(sf.graph()).diameter);
+
+  const topo::Dragonfly df1(12, 6, 6);
+  table.row("Balanced Dragonfly (DF1)", "a=12, h=6, p=6",
+            df1.num_vertices(), df1.radix(), 876, 17,
+            graph::all_pairs_stats(df1.graph()).diameter);
+
+  const topo::Dragonfly df2(6, 27, 10);
+  table.row("Equivalent Dragonfly (DF2)", "a=6, h=27, p=10",
+            df2.num_vertices(), df2.radix(), 978, 32,
+            graph::all_pairs_stats(df2.graph()).diameter);
+
+  const topo::Jellyfish jf(993, 32, 7);
+  table.row("Jellyfish (JF)", "N=993, k=32, p=16", jf.num_vertices(),
+            jf.radix(), 993, 32,
+            graph::all_pairs_stats(jf.graph()).diameter);
+
+  const topo::FatTree ft(3, 18);
+  table.row("Fat Tree (FT)", "n=3, k=18 (radix-36 switches)",
+            ft.num_vertices(), ft.radix(), 972, 36,
+            graph::all_pairs_stats(ft.graph()).diameter);
+
+  table.print();
+  std::printf(
+      "\nFat-tree diameter above counts switch-to-switch hops "
+      "(endpoint-to-endpoint adds the two access links).\n");
+  return 0;
+}
