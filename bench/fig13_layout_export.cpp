@@ -33,7 +33,9 @@ int main() {
           break;
       }
       const int c = layout.cluster_of[v];
-      styles[v].label = "C" + std::to_string(c);
+      // (.append instead of operator+ dodges GCC 12's -Wrestrict false
+      // positive, PR105329.)
+      styles[v].label = std::string("C").append(std::to_string(c));
       // Layered positions: cluster index on x, class layer on y.
       const double x = 3.0 * c;
       const double y = pf.vertex_class(v) == core::VertexClass::Quadric

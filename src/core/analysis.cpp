@@ -1,0 +1,258 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace pf::core {
+namespace {
+
+int class_bit(const PolarFly& pf, int v) {
+  return pf.vertex_class(v) == VertexClass::V1 ? 0 : 1;
+}
+
+}  // namespace
+
+TriangleCensus triangle_census(const PolarFly& pf, const Layout& layout) {
+  TriangleCensus census;
+  const auto& g = pf.graph();
+  const int n = g.num_vertices();
+
+  std::map<std::tuple<int, int, int>, int> fan_triples;
+  bool spanning_ok = true;
+
+  for (int u = 0; u < n; ++u) {
+    for (const std::int32_t v : g.neighbors(u)) {
+      if (v <= u) continue;
+      for (const std::int32_t w : g.neighbors(v)) {
+        if (w <= v || !g.has_edge(u, w)) continue;
+        ++census.total;
+        const int cu = layout.cluster_of[static_cast<std::size_t>(u)];
+        const int cv = layout.cluster_of[static_cast<std::size_t>(v)];
+        const int cw = layout.cluster_of[static_cast<std::size_t>(w)];
+        if (cu == cv && cv == cw) {
+          ++census.intra_cluster;
+          continue;
+        }
+        ++census.inter_cluster;
+        // Composition: count V2 members (no triangle touches a quadric).
+        const int v2_members = class_bit(pf, u) + class_bit(pf, v) +
+                               class_bit(pf, static_cast<int>(w));
+        ++census.by_type[static_cast<std::size_t>(v2_members)];
+        if (cu == cv || cv == cw || cu == cw || cu == 0 || cv == 0 ||
+            cw == 0) {
+          spanning_ok = false;  // not three distinct fan clusters
+        } else {
+          std::array<int, 3> key = {cu, cv, cw};
+          std::sort(key.begin(), key.end());
+          ++fan_triples[{key[0], key[1], key[2]}];
+        }
+      }
+    }
+  }
+
+  // Block design: all C(q, 3) fan triples, each exactly once.
+  const std::int64_t q = pf.q();
+  const std::int64_t expected_triples = q * (q - 1) * (q - 2) / 6;
+  bool each_once = true;
+  for (const auto& [triple, count] : fan_triples) {
+    if (count != 1) each_once = false;
+  }
+  census.block_design =
+      spanning_ok && each_once &&
+      static_cast<std::int64_t>(fan_triples.size()) == expected_triples;
+  return census;
+}
+
+TriangleDistribution expected_triangle_distribution(std::uint32_t q32) {
+  if (q32 % 2 == 0) {
+    throw std::invalid_argument(
+        "triangle distribution closed forms require odd q");
+  }
+  const std::int64_t q = q32;
+  TriangleDistribution dist;
+  if (q % 4 == 1) {
+    dist.v1v1v1 = q * (q - 1) * (q - 5) / 24;
+    dist.v1v2v2 = q * (q - 1) * (q - 1) / 8;
+  } else {
+    dist.v1v1v2 = q * (q - 1) * (q - 3) / 8;
+    dist.v2v2v2 = q * (q * q - 1) / 24;
+  }
+  return dist;
+}
+
+IntermediateCensus intermediate_type_census(const PolarFly& pf) {
+  IntermediateCensus census;
+  const auto& g = pf.graph();
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    if (pf.vertex_class(u) == VertexClass::Quadric) continue;
+    for (const std::int32_t v : g.neighbors(u)) {
+      if (v <= u || pf.vertex_class(v) == VertexClass::Quadric) continue;
+      const int mid = pf.intermediate(u, static_cast<int>(v));
+      if (mid == u || mid == v) continue;  // quadric endpoint case only
+      int a = class_bit(pf, u);
+      int b = class_bit(pf, static_cast<int>(v));
+      if (a > b) std::swap(a, b);
+      ++census.counts[a][b][class_bit(pf, mid)];
+    }
+  }
+  census.uniform = true;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = a; b < 2; ++b) {
+      if (census.counts[a][b][0] > 0 && census.counts[a][b][1] > 0) {
+        census.uniform = false;
+      }
+    }
+  }
+  return census;
+}
+
+namespace {
+
+/// Exhaustive simple-path counts of length 1..4 from s to d, total and
+/// avoiding vertex x. Index 0 unused.
+struct PathCounts {
+  std::array<std::int64_t, 5> total = {0, 0, 0, 0, 0};
+  std::array<std::int64_t, 5> avoiding = {0, 0, 0, 0, 0};
+};
+
+PathCounts count_paths(const graph::Graph& g, int s, int d, int x) {
+  PathCounts counts;
+  if (g.has_edge(s, d)) {
+    counts.total[1] = 1;
+    counts.avoiding[1] = 1;
+  }
+  for (const std::int32_t a : g.neighbors(s)) {
+    if (a == d || a == s) continue;
+    const bool a_ok = a != x;
+    if (g.has_edge(static_cast<int>(a), d)) {
+      ++counts.total[2];
+      if (a_ok) ++counts.avoiding[2];
+    }
+    for (const std::int32_t b : g.neighbors(static_cast<int>(a))) {
+      if (b == s || b == a || b == d) continue;
+      const bool b_ok = a_ok && b != x;
+      if (g.has_edge(static_cast<int>(b), d)) {
+        ++counts.total[3];
+        if (b_ok) ++counts.avoiding[3];
+      }
+      for (const std::int32_t c : g.neighbors(static_cast<int>(b))) {
+        if (c == s || c == a || c == b || c == d) continue;
+        if (g.has_edge(static_cast<int>(c), d)) {
+          ++counts.total[4];
+          if (b_ok && c != x) ++counts.avoiding[4];
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+struct CaseSpec {
+  std::string condition;
+  std::array<std::string, 5> expected;  // by length, index 0 unused
+};
+
+}  // namespace
+
+std::vector<PathDiversityRow> path_diversity_census(const PolarFly& pf,
+                                                    int samples_per_case,
+                                                    std::uint64_t seed) {
+  const auto& g = pf.graph();
+  const int n = g.num_vertices();
+  const std::string q_str = "q=" + std::to_string(pf.q());
+
+  // Case classification for a sampled ordered pair (s, d), s != d:
+  //   0: adjacent, neither endpoint a quadric
+  //   1: adjacent, one endpoint a quadric
+  //   2: non-adjacent, both non-quadric, intermediate non-quadric
+  //   3: non-adjacent, both non-quadric, intermediate quadric
+  //   4: non-adjacent, at least one quadric endpoint
+  const std::vector<CaseSpec> specs = {
+      {"adjacent, no quadric",
+       {"", "1", "1", "0", "Theta(q^2)"}},
+      {"adjacent, one quadric",
+       {"", "1", "0", "0", "Theta(q^2)"}},
+      {"distance 2, x not in W",
+       {"", "0", "1", "q+1", "Theta(q^2)"}},
+      {"distance 2, x in W",
+       {"", "0", "1", "q", "Theta(q^2)"}},
+      {"distance 2, quadric endpoint",
+       {"", "0", "1", "~q", "Theta(q^2)"}},
+  };
+
+  struct Accumulator {
+    std::array<std::int64_t, 5> min_total;
+    std::array<std::int64_t, 5> max_total;
+    std::array<std::int64_t, 5> min_avoid;
+    std::array<std::int64_t, 5> max_avoid;
+    int samples = 0;
+  };
+  std::vector<Accumulator> accumulators(specs.size());
+
+  util::Rng rng(seed);
+  const int budget = samples_per_case * 400;
+  int done = 0;
+  for (int attempt = 0; attempt < budget && done < 5; ++attempt) {
+    const int s = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    int d = s;
+    while (d == s) {
+      d = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    }
+    const bool adjacent = g.has_edge(s, d);
+    const bool s_quadric = pf.vertex_class(s) == VertexClass::Quadric;
+    const bool d_quadric = pf.vertex_class(d) == VertexClass::Quadric;
+    const int x = pf.intermediate(s, d);
+    std::size_t which;
+    if (adjacent) {
+      which = (s_quadric || d_quadric) ? 1 : 0;
+    } else if (s_quadric || d_quadric) {
+      which = 4;
+    } else {
+      which = pf.vertex_class(x) == VertexClass::Quadric ? 3 : 2;
+    }
+    auto& acc = accumulators[which];
+    if (acc.samples >= samples_per_case) continue;
+
+    const PathCounts counts =
+        count_paths(g, s, d, (x == s || x == d) ? -1 : x);
+    for (int len = 1; len <= 4; ++len) {
+      const auto i = static_cast<std::size_t>(len);
+      if (acc.samples == 0) {
+        acc.min_total[i] = acc.max_total[i] = counts.total[i];
+        acc.min_avoid[i] = acc.max_avoid[i] = counts.avoiding[i];
+      } else {
+        acc.min_total[i] = std::min(acc.min_total[i], counts.total[i]);
+        acc.max_total[i] = std::max(acc.max_total[i], counts.total[i]);
+        acc.min_avoid[i] = std::min(acc.min_avoid[i], counts.avoiding[i]);
+        acc.max_avoid[i] = std::max(acc.max_avoid[i], counts.avoiding[i]);
+      }
+    }
+    if (++acc.samples == samples_per_case) ++done;
+  }
+
+  std::vector<PathDiversityRow> rows;
+  for (std::size_t c = 0; c < specs.size(); ++c) {
+    const auto& acc = accumulators[c];
+    if (acc.samples == 0) continue;
+    for (int len = 1; len <= 4; ++len) {
+      const auto i = static_cast<std::size_t>(len);
+      PathDiversityRow row;
+      row.length = len;
+      row.condition = specs[c].condition + " (" + q_str + ")";
+      row.expected = specs[c].expected[i];
+      row.measured_min = acc.min_total[i];
+      row.measured_max = acc.max_total[i];
+      row.measured_avoid_min = acc.min_avoid[i];
+      row.measured_avoid_max = acc.max_avoid[i];
+      row.samples = acc.samples;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace pf::core

@@ -1,0 +1,79 @@
+// Structural analysis of ER_q: the triangle census and block design of
+// Tab. II / Theorem V.7, the intermediate-class table of Tab. III
+// (Propositions V.5/V.6), and the path-diversity census of Tab. VI.
+//
+// The closed forms follow from two facts. (1) Triangles of ER_q are
+// exactly the self-polar triangles of the conic, so no triangle touches a
+// quadric and each non-quadric edge lies in exactly one triangle.
+// (2) With s(x) = chi(x . x) the quadratic character, mutual orthogonality
+// forces s(u) s(v) s(w) = chi(disc) = +1 for a triangle {u, v, w}, and
+// V1 = {s = +1} iff q = 1 mod 4. Hence the composition split by q mod 4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/layout.hpp"
+#include "core/polarfly.hpp"
+
+namespace pf::core {
+
+struct TriangleCensus {
+  std::int64_t total = 0;
+  std::int64_t intra_cluster = 0;  ///< the fan blades: q(q-1)/2
+  std::int64_t inter_cluster = 0;  ///< spanning 3 distinct fans: C(q,3)
+  /// Inter-cluster triangles by composition:
+  /// [0] (v1,v1,v1)  [1] (v1,v1,v2)  [2] (v1,v2,v2)  [3] (v2,v2,v2).
+  std::array<std::int64_t, 4> by_type = {0, 0, 0, 0};
+  /// True iff every inter-cluster triangle spans 3 distinct fan clusters
+  /// and every one of the C(q,3) fan triples hosts exactly one triangle —
+  /// the 3-(q, 3, 1) design of Theorem V.7.
+  bool block_design = false;
+};
+
+TriangleCensus triangle_census(const PolarFly& pf, const Layout& layout);
+
+struct TriangleDistribution {
+  std::int64_t v1v1v1 = 0;
+  std::int64_t v1v1v2 = 0;
+  std::int64_t v1v2v2 = 0;
+  std::int64_t v2v2v2 = 0;
+};
+
+/// Closed-form inter-cluster triangle distribution (odd q):
+///   q = 1 mod 4: ( q(q-1)(q-5)/24, 0, q(q-1)^2/8, 0 )
+///   q = 3 mod 4: ( 0, q(q-1)(q-3)/8, 0, q(q^2-1)/24 )
+TriangleDistribution expected_triangle_distribution(std::uint32_t q);
+
+struct IntermediateCensus {
+  /// counts[a][b][t]: adjacent non-quadric pairs with classes (a, b)
+  /// (0 = V1, 1 = V2, a <= b) whose common neighbor has class t.
+  std::int64_t counts[2][2][2] = {{{0, 0}, {0, 0}}, {{0, 0}, {0, 0}}};
+  /// True iff each (a, b) case yields a single intermediate class.
+  bool uniform = false;
+};
+
+IntermediateCensus intermediate_type_census(const PolarFly& pf);
+
+struct PathDiversityRow {
+  int length = 0;
+  std::string condition;
+  std::string expected;  ///< the paper's closed form / asymptotic
+  std::int64_t measured_min = 0;
+  std::int64_t measured_max = 0;
+  /// Same counts restricted to paths avoiding the minimal-path
+  /// intermediate x = intermediate(s, d).
+  std::int64_t measured_avoid_min = 0;
+  std::int64_t measured_avoid_max = 0;
+  int samples = 0;
+};
+
+/// Samples vertex pairs per structural case and exhaustively counts the
+/// simple paths of length 1..4 between them.
+std::vector<PathDiversityRow> path_diversity_census(const PolarFly& pf,
+                                                    int samples_per_case,
+                                                    std::uint64_t seed);
+
+}  // namespace pf::core

@@ -1,0 +1,67 @@
+#include "core/expansion.hpp"
+
+#include <stdexcept>
+
+namespace pf::core {
+
+ExpandedNetwork expand_quadric(const PolarFly& pf, const Layout& layout,
+                               int count) {
+  (void)layout;  // the quadric cluster is recoverable from pf itself
+  if (count < 1) throw std::invalid_argument("expansion count must be >= 1");
+  const int base = pf.num_vertices();
+  ExpandedNetwork out;
+  std::vector<graph::Edge> edges = pf.graph().edge_list();
+
+  int next = base;
+  for (int r = 0; r < count; ++r) {
+    for (const int w : pf.quadrics()) {
+      // The copy attaches to the original neighbors of w; copies of
+      // distinct quadrics are never adjacent (quadrics aren't), so no
+      // intra-replica edges.
+      for (const std::int32_t u : pf.graph().neighbors(w)) {
+        edges.emplace_back(next, u);
+      }
+      out.source_of.push_back(w);
+      ++next;
+    }
+  }
+  out.graph = graph::Graph::from_edges(next, std::move(edges));
+  return out;
+}
+
+ExpandedNetwork expand_nonquadric(const PolarFly& pf, const Layout& layout,
+                                  int count) {
+  if (count < 1) throw std::invalid_argument("expansion count must be >= 1");
+  if (static_cast<std::size_t>(count) + 1 > layout.clusters.size()) {
+    throw std::invalid_argument("not enough fan clusters to replicate");
+  }
+  const int base = pf.num_vertices();
+  ExpandedNetwork out;
+  std::vector<graph::Edge> edges = pf.graph().edge_list();
+
+  int next = base;
+  for (int c = 1; c <= count; ++c) {
+    const auto& cluster = layout.clusters[static_cast<std::size_t>(c)];
+    // Map original member -> its copy in this replica.
+    std::vector<int> copy_of(static_cast<std::size_t>(base), -1);
+    for (const int v : cluster) {
+      copy_of[static_cast<std::size_t>(v)] = next++;
+    }
+    for (const int v : cluster) {
+      const int vc = copy_of[static_cast<std::size_t>(v)];
+      for (const std::int32_t u : pf.graph().neighbors(v)) {
+        const int uc = copy_of[static_cast<std::size_t>(u)];
+        if (uc < 0) {
+          edges.emplace_back(vc, u);  // external link, kept by the copy
+        } else if (vc < uc) {
+          edges.emplace_back(vc, uc);  // intra-cluster link between copies
+        }
+      }
+      out.source_of.push_back(v);
+    }
+  }
+  out.graph = graph::Graph::from_edges(next, std::move(edges));
+  return out;
+}
+
+}  // namespace pf::core

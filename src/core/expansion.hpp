@@ -1,0 +1,38 @@
+// Incremental expansion (SS VI): grow a deployed ER_q without rewiring
+// any existing link, by replicating layout clusters.
+//
+// Quadric replication: add copies of the quadric cluster; each copy of
+// quadric w connects to N(w). Diameter stays 2 (any pair still has a
+// common neighbor) but the degree distribution skews: V1 vertices gain 2
+// links per replica, V2 none. Yields (q+1)/2 new routers per unit of
+// radix growth.
+//
+// Non-quadric replication: the i-th step copies fan cluster C_i; each
+// copy keeps its external links and its intra-cluster links (to the other
+// copies). New links spread almost uniformly (C_i shares q-2 links with
+// every other fan), giving ~q routers per radix unit at diameter 3.
+#pragma once
+
+#include <vector>
+
+#include "core/layout.hpp"
+#include "core/polarfly.hpp"
+
+namespace pf::core {
+
+struct ExpandedNetwork {
+  graph::Graph graph;
+  /// For each new vertex (index >= base num_vertices): the base vertex it
+  /// replicates.
+  std::vector<int> source_of;
+};
+
+/// Adds `count` replicas of the quadric cluster.
+ExpandedNetwork expand_quadric(const PolarFly& pf, const Layout& layout,
+                               int count);
+
+/// Replicates fan clusters C_1 .. C_count (count <= q).
+ExpandedNetwork expand_nonquadric(const PolarFly& pf, const Layout& layout,
+                                  int count);
+
+}  // namespace pf::core

@@ -1,0 +1,69 @@
+#include "core/feasibility.hpp"
+
+#include <algorithm>
+
+#include "galois/field.hpp"
+
+namespace pf::core {
+
+std::int64_t moore_bound(int radix) {
+  return static_cast<std::int64_t>(radix) * radix + 1;
+}
+
+std::vector<PolarFlyConfig> polarfly_configs(std::uint32_t max_radix) {
+  std::vector<PolarFlyConfig> configs;
+  for (std::uint32_t q = 2; q + 1 <= max_radix; ++q) {
+    if (!gf::is_prime_power(q)) continue;
+    PolarFlyConfig config;
+    config.q = q;
+    config.radix = static_cast<int>(q) + 1;
+    config.nodes = static_cast<std::int64_t>(q) * q + q + 1;
+    config.moore_efficiency = static_cast<double>(config.nodes) /
+                              static_cast<double>(moore_bound(config.radix));
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+std::vector<int> polarfly_radixes(std::uint32_t max_radix) {
+  std::vector<int> radixes;
+  for (const auto& config : polarfly_configs(max_radix)) {
+    radixes.push_back(config.radix);
+  }
+  return radixes;
+}
+
+std::vector<int> slimfly_radixes_formula(std::uint32_t max_radix) {
+  std::vector<int> radixes;
+  // radix (3q - delta)/2 grows with q; stop once past the budget.
+  for (std::uint32_t q = 3; 3 * q <= 2 * max_radix + 2; ++q) {
+    if (!gf::is_prime_power(q)) continue;
+    int delta;
+    if (q % 4 == 1) {
+      delta = 1;
+    } else if (q % 4 == 3) {
+      delta = -1;
+    } else if (q % 4 == 0) {
+      delta = 0;
+    } else {
+      continue;  // q = 2 mod 4 only happens at q = 2 (not MMS-feasible)
+    }
+    const int radix = (3 * static_cast<int>(q) - delta) / 2;
+    if (radix <= static_cast<int>(max_radix)) radixes.push_back(radix);
+  }
+  std::sort(radixes.begin(), radixes.end());
+  radixes.erase(std::unique(radixes.begin(), radixes.end()), radixes.end());
+  return radixes;
+}
+
+std::vector<int> polarfly_plus_radixes(std::uint32_t max_radix) {
+  std::vector<int> combined = polarfly_radixes(max_radix);
+  const std::vector<int> slimfly = slimfly_radixes_formula(max_radix);
+  combined.insert(combined.end(), slimfly.begin(), slimfly.end());
+  std::sort(combined.begin(), combined.end());
+  combined.erase(std::unique(combined.begin(), combined.end()),
+                 combined.end());
+  return combined;
+}
+
+}  // namespace pf::core

@@ -1,0 +1,34 @@
+// Design-space feasibility: which network radixes admit a diameter-2
+// PolarFly (q prime power, radix q+1), the Moore bound they chase, and
+// the Slim Fly / PolarFly+ comparison series of Fig. 1 and Fig. 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pf::core {
+
+/// Maximum routers of a diameter-2 network with the given radix: k^2 + 1.
+std::int64_t moore_bound(int radix);
+
+struct PolarFlyConfig {
+  std::uint32_t q = 0;
+  int radix = 0;                  ///< q + 1
+  std::int64_t nodes = 0;         ///< q^2 + q + 1 routers
+  double moore_efficiency = 0.0;  ///< nodes / moore_bound(radix)
+};
+
+/// All feasible PolarFly configurations with radix <= max_radix, by q.
+std::vector<PolarFlyConfig> polarfly_configs(std::uint32_t max_radix);
+
+/// Feasible PolarFly network radixes (q + 1 for prime-power q), ascending.
+std::vector<int> polarfly_radixes(std::uint32_t max_radix);
+
+/// Feasible Slim Fly MMS network radixes by the closed form
+/// k = (3q - delta) / 2, q = 4w + delta prime power, delta in {-1, 0, 1}.
+std::vector<int> slimfly_radixes_formula(std::uint32_t max_radix);
+
+/// The combined PolarFly + Slim Fly design space (distinct radixes).
+std::vector<int> polarfly_plus_radixes(std::uint32_t max_radix);
+
+}  // namespace pf::core

@@ -1,0 +1,103 @@
+#include "core/layout.hpp"
+
+#include <stdexcept>
+
+namespace pf::core {
+
+Layout make_layout(const PolarFly& pf) {
+  if (pf.q() % 2 == 0) return make_layout_even(pf);
+
+  Layout layout;
+  const int n = pf.num_vertices();
+  layout.cluster_of.assign(static_cast<std::size_t>(n), -1);
+
+  // Cluster 0: the quadrics, centered on the starter w0.
+  const int w0 = pf.quadrics().front();
+  layout.starter_quadric = w0;
+  layout.clusters.push_back(pf.quadrics());
+  layout.centers.push_back(w0);
+  for (const int w : pf.quadrics()) {
+    layout.cluster_of[static_cast<std::size_t>(w)] = 0;
+  }
+
+  // One fan cluster per neighbor of w0 (w0 is a quadric, so it has q
+  // non-quadric neighbors).
+  for (const std::int32_t center : pf.graph().neighbors(w0)) {
+    const int c = static_cast<int>(layout.clusters.size());
+    layout.clusters.push_back({static_cast<int>(center)});
+    layout.centers.push_back(center);
+    layout.cluster_of[static_cast<std::size_t>(center)] = c;
+  }
+
+  // Every remaining vertex u joins the cluster of its unique common
+  // neighbor with w0 — which is intermediate(u, w0) and lies in N(w0).
+  for (int u = 0; u < n; ++u) {
+    if (layout.cluster_of[static_cast<std::size_t>(u)] >= 0) continue;
+    const int center = pf.intermediate(u, w0);
+    const int c = layout.cluster_of[static_cast<std::size_t>(center)];
+    if (c <= 0) {
+      throw std::logic_error("layout: vertex not attached to a fan center");
+    }
+    layout.clusters[static_cast<std::size_t>(c)].push_back(u);
+    layout.cluster_of[static_cast<std::size_t>(u)] = c;
+  }
+  return layout;
+}
+
+Layout make_layout_even(const PolarFly& pf) {
+  if (pf.q() % 2 != 0) {
+    throw std::invalid_argument("make_layout_even requires even q");
+  }
+  Layout layout;
+  const int n = pf.num_vertices();
+  layout.cluster_of.assign(static_cast<std::size_t>(n), -1);
+
+  // The nucleus is the unique vertex all of whose neighbors are quadrics
+  // (its polar line is the tangent line carrying the whole conic).
+  int nucleus = -1;
+  for (int v = 0; v < n; ++v) {
+    if (pf.vertex_class(v) == VertexClass::Quadric) continue;
+    bool all_quadric = true;
+    for (const std::int32_t w : pf.graph().neighbors(v)) {
+      if (pf.vertex_class(w) != VertexClass::Quadric) {
+        all_quadric = false;
+        break;
+      }
+    }
+    if (all_quadric) {
+      nucleus = v;
+      break;
+    }
+  }
+  if (nucleus < 0) throw std::logic_error("even-q layout: no nucleus found");
+
+  layout.starter_quadric = nucleus;
+  layout.clusters.push_back({nucleus});
+  layout.centers.push_back(nucleus);
+  layout.cluster_of[static_cast<std::size_t>(nucleus)] = 0;
+
+  // One star cluster per quadric: the quadric plus its non-nucleus
+  // neighbors (every non-nucleus vertex has exactly one quadric neighbor).
+  for (const int w : pf.quadrics()) {
+    const int c = static_cast<int>(layout.clusters.size());
+    layout.clusters.push_back({w});
+    layout.centers.push_back(w);
+    layout.cluster_of[static_cast<std::size_t>(w)] = c;
+    for (const std::int32_t u : pf.graph().neighbors(w)) {
+      if (u == nucleus) continue;
+      if (layout.cluster_of[static_cast<std::size_t>(u)] >= 0) {
+        throw std::logic_error("even-q layout: vertex in two stars");
+      }
+      layout.clusters[static_cast<std::size_t>(c)].push_back(u);
+      layout.cluster_of[static_cast<std::size_t>(u)] = c;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (layout.cluster_of[static_cast<std::size_t>(v)] < 0) {
+      throw std::logic_error("even-q layout: uncovered vertex");
+    }
+  }
+  return layout;
+}
+
+}  // namespace pf::core

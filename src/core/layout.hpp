@@ -1,0 +1,34 @@
+// Algorithm 1: the modular rack layout of ER_q.
+//
+// Odd q: pick a starter quadric w0. Cluster 0 holds all q+1 quadrics;
+// each of w0's q neighbors v_i seeds a "fan" cluster {v_i} + the q-1
+// vertices whose unique common neighbor with w0 is v_i. The non-center
+// members of a fan pair up into (q-1)/2 adjacent "blades" (each blade
+// closes a triangle with the center).
+//
+// Even q: the tangent lines concur in the nucleus n, which is adjacent to
+// all q+1 quadrics and nothing else is. Cluster 0 = {n}; each quadric w_i
+// seeds a "star" cluster {w_i} + (N(w_i) \ {n}).
+#pragma once
+
+#include <vector>
+
+#include "core/polarfly.hpp"
+
+namespace pf::core {
+
+struct Layout {
+  /// Odd q: the starter quadric w0. Even q: the nucleus.
+  int starter_quadric = -1;
+  std::vector<std::vector<int>> clusters;  ///< cluster -> member vertices
+  std::vector<int> centers;                ///< cluster -> center vertex
+  std::vector<int> cluster_of;             ///< vertex -> cluster index
+};
+
+/// Algorithm 1 for odd q; delegates to make_layout_even for even q.
+Layout make_layout(const PolarFly& pf);
+
+/// The even-q nucleus/star layout.
+Layout make_layout_even(const PolarFly& pf);
+
+}  // namespace pf::core

@@ -1,0 +1,47 @@
+// Structural graph algorithms: BFS distances, all-pairs summary stats
+// (diameter / average path length), degree stats, girth, triangle counts,
+// connectivity tests, and edge-list file input. all_pairs_stats is
+// parallelized over BFS sources via util::parallel_for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pf::graph {
+
+struct DistanceStats {
+  bool connected = false;
+  int diameter = -1;              ///< -1 when disconnected
+  double avg_path_length = 0.0;   ///< over connected ordered pairs
+  std::int64_t reachable_pairs = 0;
+};
+
+/// BFS from every vertex; O(V * E) but each BFS is independent.
+DistanceStats all_pairs_stats(const Graph& g);
+
+struct DegreeStats {
+  int min = 0;
+  int max = 0;
+  double avg = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Hop distances from src; -1 for unreachable vertices.
+std::vector<int> bfs_distances(const Graph& g, int src);
+
+bool is_connected(const Graph& g);
+
+/// Length of the shortest cycle, or -1 for forests.
+int girth(const Graph& g);
+
+/// Exact triangle count via neighbor-intersection on oriented edges.
+std::int64_t count_triangles(const Graph& g);
+
+/// Reads "u v" lines ('#' comments allowed); vertex count is inferred.
+Graph read_edge_list(const std::string& path);
+
+}  // namespace pf::graph

@@ -1,0 +1,64 @@
+#include "graph/centrality.hpp"
+
+#include <mutex>
+
+#include "util/parallel.hpp"
+
+namespace pf::graph {
+
+std::vector<double> vertex_betweenness(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<double> score(static_cast<std::size_t>(n), 0.0);
+  std::mutex merge_mutex;
+
+  util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t src) {
+    const int s = static_cast<int>(src);
+    std::vector<int> dist(static_cast<std::size_t>(n), -1);
+    std::vector<double> sigma(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> delta(static_cast<std::size_t>(n), 0.0);
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+
+    dist[static_cast<std::size_t>(s)] = 0;
+    sigma[static_cast<std::size_t>(s)] = 1.0;
+    order.push_back(s);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const int u = order[head];
+      for (const std::int32_t v : g.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          order.push_back(v);
+        }
+        if (dist[static_cast<std::size_t>(v)] ==
+            dist[static_cast<std::size_t>(u)] + 1) {
+          sigma[static_cast<std::size_t>(v)] +=
+              sigma[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+
+    // Dependency accumulation in reverse BFS order.
+    for (std::size_t i = order.size(); i > 0; --i) {
+      const int w = order[i - 1];
+      for (const std::int32_t v : g.neighbors(w)) {
+        if (dist[static_cast<std::size_t>(v)] ==
+            dist[static_cast<std::size_t>(w)] + 1) {
+          delta[static_cast<std::size_t>(w)] +=
+              sigma[static_cast<std::size_t>(w)] /
+              sigma[static_cast<std::size_t>(v)] *
+              (1.0 + delta[static_cast<std::size_t>(v)]);
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (int v = 0; v < n; ++v) {
+      if (v != s) score[static_cast<std::size_t>(v)] +=
+          delta[static_cast<std::size_t>(v)];
+    }
+  });
+  return score;
+}
+
+}  // namespace pf::graph

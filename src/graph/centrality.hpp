@@ -1,0 +1,17 @@
+// Exact vertex betweenness centrality (Brandes' algorithm, unweighted),
+// parallelized over BFS sources. The relay-load metric of the paper's
+// path-diversity discussion: uniform betweenness means no router is a
+// disproportionate transit bottleneck.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pf::graph {
+
+/// Unnormalized betweenness: for each v, the sum over ordered pairs
+/// (s, t) of the fraction of shortest s-t paths through v.
+std::vector<double> vertex_betweenness(const Graph& g);
+
+}  // namespace pf::graph

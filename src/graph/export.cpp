@@ -1,0 +1,53 @@
+#include "graph/export.hpp"
+
+#include <cstdio>
+
+namespace pf::graph {
+
+bool write_dot(const Graph& g, const std::string& path,
+               const std::vector<DotVertexStyle>& styles,
+               const std::string& name) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "graph \"%s\" {\n  node [shape=circle style=filled];\n",
+               name.c_str());
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    std::fprintf(f, "  n%d [", v);
+    bool first = true;
+    auto attr = [f, &first](const char* key, const std::string& value) {
+      if (value.empty()) return;
+      std::fprintf(f, "%s%s=\"%s\"", first ? "" : " ", key, value.c_str());
+      first = false;
+    };
+    if (static_cast<std::size_t>(v) < styles.size()) {
+      const auto& style = styles[static_cast<std::size_t>(v)];
+      attr("fillcolor", style.color);
+      attr("label", style.label.empty()
+                        ? std::to_string(v)
+                        : std::to_string(v) + "\\n" + style.label);
+      attr("pos", style.position);
+    } else {
+      attr("label", std::to_string(v));
+    }
+    std::fprintf(f, "];\n");
+  }
+  for (const auto& [u, v] : g.edge_list()) {
+    std::fprintf(f, "  n%d -- n%d;\n", u, v);
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+bool write_edge_csv(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "source,target\n");
+  for (const auto& [u, v] : g.edge_list()) {
+    std::fprintf(f, "%d,%d\n", u, v);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace pf::graph

@@ -1,0 +1,27 @@
+// Graph serialization: Graphviz DOT (with optional per-vertex styling,
+// used by the Fig. 13 layered renders) and a plain CSV edge list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pf::graph {
+
+struct DotVertexStyle {
+  std::string color;     ///< fill color; empty for default
+  std::string label;     ///< extra label line; empty for just the id
+  std::string position;  ///< "x,y!" pin for neato; empty to let dot place
+};
+
+/// Writes an undirected DOT graph named `name`. `styles` may be empty or
+/// sized num_vertices(). Returns false if the file cannot be opened.
+bool write_dot(const Graph& g, const std::string& path,
+               const std::vector<DotVertexStyle>& styles,
+               const std::string& name);
+
+/// Writes "source,target" rows with a header. Returns false on I/O error.
+bool write_edge_csv(const Graph& g, const std::string& path);
+
+}  // namespace pf::graph

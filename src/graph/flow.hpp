@@ -1,0 +1,19 @@
+// Exact connectivity via max-flow (Dinic): edge connectivity (global
+// min cut in link failures) and vertex connectivity (min router cut).
+// O(V * maxflow) — meant for the --exact-connectivity escape hatch and
+// tests, not for the inner loop of a sweep.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace pf::graph {
+
+/// Minimum number of edges whose removal disconnects g (0 if already
+/// disconnected or trivial).
+int edge_connectivity(const Graph& g);
+
+/// Minimum number of vertices whose removal disconnects g; n-1 for
+/// complete graphs.
+int vertex_connectivity(const Graph& g);
+
+}  // namespace pf::graph

@@ -1,0 +1,166 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace pf::graph {
+namespace {
+
+std::int64_t cut_size(const Graph& g, const std::vector<std::uint8_t>& side) {
+  std::int64_t cut = 0;
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (const std::int32_t v : g.neighbors(u)) {
+      if (u < v && side[static_cast<std::size_t>(u)] !=
+                       side[static_cast<std::size_t>(v)]) {
+        ++cut;
+      }
+    }
+  }
+  return cut;
+}
+
+/// One FM pass: repeatedly move the best-gain movable vertex (keeping the
+/// balance within one vertex), lock it, and finally roll back to the best
+/// prefix of moves. Gains live in per-side lazy max-heaps, so a pass is
+/// O((V + E) log V). Returns the cut improvement (>= 0).
+std::int64_t fm_pass(const Graph& g, std::vector<std::uint8_t>& side,
+                     util::Rng& rng) {
+  const int n = g.num_vertices();
+  std::vector<int> gain(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> locked(static_cast<std::size_t>(n), 0);
+  // Random tiebreak keys so equal-gain picks don't follow vertex order.
+  std::vector<std::uint32_t> salt(static_cast<std::size_t>(n));
+  for (auto& s : salt) s = static_cast<std::uint32_t>(rng.next());
+
+  // Heap entries are (gain, salt, vertex); stale entries are skipped when
+  // popped (lazy deletion).
+  using Entry = std::tuple<int, std::uint32_t, int>;
+  std::priority_queue<Entry> heap[2];
+
+  for (int u = 0; u < n; ++u) {
+    int external = 0;
+    for (const std::int32_t v : g.neighbors(u)) {
+      external += side[static_cast<std::size_t>(u)] !=
+                          side[static_cast<std::size_t>(v)]
+                      ? 1
+                      : -1;
+    }
+    gain[static_cast<std::size_t>(u)] = external;
+    heap[side[static_cast<std::size_t>(u)]].push(
+        {external, salt[static_cast<std::size_t>(u)], u});
+  }
+
+  int count[2] = {0, 0};
+  for (int u = 0; u < n; ++u) ++count[side[static_cast<std::size_t>(u)]];
+
+  std::vector<int> moved;
+  moved.reserve(static_cast<std::size_t>(n));
+  std::int64_t running = 0;
+  std::int64_t best_running = 0;
+  std::size_t best_prefix = 0;
+
+  auto pop_valid = [&](const int from) {
+    while (!heap[from].empty()) {
+      const auto [entry_gain, entry_salt, u] = heap[from].top();
+      if (locked[static_cast<std::size_t>(u)] ||
+          side[static_cast<std::size_t>(u)] != from ||
+          gain[static_cast<std::size_t>(u)] != entry_gain) {
+        heap[from].pop();  // stale
+        continue;
+      }
+      return u;
+    }
+    return -1;
+  };
+
+  for (int step = 0; step < n; ++step) {
+    // The side that must give up a vertex to keep balance.
+    int from;
+    if (count[0] > count[1]) {
+      from = 0;
+    } else if (count[1] > count[0]) {
+      from = 1;
+    } else {
+      from = pop_valid(0) < 0 ? 1 : (rng.next() & 1 ? 0 : 1);
+    }
+    int pick = pop_valid(from);
+    if (pick < 0) pick = pop_valid(1 - from);
+    if (pick < 0) break;
+
+    const int s = side[static_cast<std::size_t>(pick)];
+    side[static_cast<std::size_t>(pick)] = static_cast<std::uint8_t>(1 - s);
+    locked[static_cast<std::size_t>(pick)] = 1;
+    --count[s];
+    ++count[1 - s];
+    running += gain[static_cast<std::size_t>(pick)];
+    for (const std::int32_t v : g.neighbors(pick)) {
+      if (locked[static_cast<std::size_t>(v)]) continue;
+      // pick changed sides: its edge to v flipped between internal and
+      // external, so v's move gain shifts by 2 accordingly.
+      const int delta = side[static_cast<std::size_t>(v)] ==
+                                side[static_cast<std::size_t>(pick)]
+                            ? -2
+                            : 2;
+      gain[static_cast<std::size_t>(v)] += delta;
+      heap[side[static_cast<std::size_t>(v)]].push(
+          {gain[static_cast<std::size_t>(v)],
+           salt[static_cast<std::size_t>(v)], v});
+    }
+    moved.push_back(pick);
+    if (running > best_running && count[0] - count[1] >= -1 &&
+        count[0] - count[1] <= 1) {
+      best_running = running;
+      best_prefix = moved.size();
+    }
+  }
+
+  // Roll back moves past the best prefix.
+  for (std::size_t i = moved.size(); i > best_prefix; --i) {
+    const int u = moved[i - 1];
+    side[static_cast<std::size_t>(u)] ^= 1;
+  }
+  return best_running;
+}
+
+}  // namespace
+
+BisectionResult bisect(const Graph& g, const BisectionOptions& options) {
+  const int n = g.num_vertices();
+  BisectionResult best;
+  best.cut_edges = -1;
+  if (n == 0 || g.num_edges() == 0) {
+    best.side.assign(static_cast<std::size_t>(n), 0);
+    best.cut_edges = 0;
+    return best;
+  }
+
+  util::Rng rng(options.seed);
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    // Random balanced start.
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    util::shuffle(order, rng);
+    std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      side[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+          static_cast<std::uint8_t>(i % 2);
+    }
+    for (int pass = 0; pass < options.max_passes; ++pass) {
+      if (fm_pass(g, side, rng) <= 0) break;
+    }
+    const std::int64_t cut = cut_size(g, side);
+    if (best.cut_edges < 0 || cut < best.cut_edges) {
+      best.cut_edges = cut;
+      best.side = side;
+    }
+  }
+  best.cut_fraction = static_cast<double>(best.cut_edges) /
+                      static_cast<double>(g.num_edges());
+  return best;
+}
+
+}  // namespace pf::graph

@@ -1,0 +1,102 @@
+#include "graph/spectral.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pf::graph {
+namespace {
+
+void multiply(const Graph& g, const std::vector<double>& x,
+              std::vector<double>& out) {
+  const int n = g.num_vertices();
+  for (int u = 0; u < n; ++u) {
+    double sum = 0.0;
+    for (const std::int32_t v : g.neighbors(u)) {
+      sum += x[static_cast<std::size_t>(v)];
+    }
+    out[static_cast<std::size_t>(u)] = sum;
+  }
+}
+
+double norm(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (const double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void normalize(std::vector<double>& x) {
+  const double len = norm(x);
+  if (len == 0.0) return;
+  for (double& v : x) v /= len;
+}
+
+/// Removes the projection of x onto the (unit) direction d.
+void deflate(std::vector<double>& x, const std::vector<double>& d) {
+  const double coeff = dot(x, d);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] -= coeff * d[i];
+}
+
+}  // namespace
+
+SpectrumEstimate estimate_spectrum(const Graph& g, int max_iterations,
+                                   double tolerance) {
+  SpectrumEstimate result;
+  const int n = g.num_vertices();
+  if (n == 0 || g.num_edges() == 0) return result;
+
+  util::Rng rng(0x5eedULL);
+  std::vector<double> v1(static_cast<std::size_t>(n));
+  for (double& x : v1) x = 0.5 + rng.uniform();  // positive start
+  normalize(v1);
+  std::vector<double> next(static_cast<std::size_t>(n));
+
+  double lambda1 = 0.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    multiply(g, v1, next);
+    const double estimate = dot(v1, next);
+    normalize(next);
+    std::swap(v1, next);
+    ++result.iterations;
+    if (std::abs(estimate - lambda1) < tolerance * std::max(1.0, lambda1)) {
+      lambda1 = estimate;
+      break;
+    }
+    lambda1 = estimate;
+  }
+  result.lambda1 = lambda1;
+
+  std::vector<double> v2(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < v2.size(); ++i) {
+    v2[i] = rng.uniform() - 0.5;  // sign changes, mostly orthogonal
+  }
+  deflate(v2, v1);
+  normalize(v2);
+  double lambda2 = 0.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    multiply(g, v2, next);
+    deflate(next, v1);
+    const double estimate = dot(v2, next);
+    normalize(next);
+    std::swap(v2, next);
+    ++result.iterations;
+    if (std::abs(std::abs(estimate) - std::abs(lambda2)) <
+        tolerance * std::max(1.0, std::abs(lambda2))) {
+      lambda2 = estimate;
+      break;
+    }
+    lambda2 = estimate;
+  }
+  result.lambda2 = std::abs(lambda2);
+  return result;
+}
+
+}  // namespace pf::graph

@@ -1,0 +1,21 @@
+// Adjacency-spectrum estimation by power iteration with deflation:
+// lambda1 (Perron value, = degree for regular graphs) and lambda2, whose
+// gap certifies expansion — one of PolarFly's selling points.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace pf::graph {
+
+struct SpectrumEstimate {
+  double lambda1 = 0.0;
+  double lambda2 = 0.0;
+  int iterations = 0;
+};
+
+/// Power iteration (lambda1), then iteration orthogonal to the dominant
+/// eigenvector (lambda2 by magnitude). Deterministic start vectors.
+SpectrumEstimate estimate_spectrum(const Graph& g, int max_iterations = 300,
+                                   double tolerance = 1e-9);
+
+}  // namespace pf::graph

@@ -1,0 +1,168 @@
+#include "sim/deadlock.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace pf::sim {
+namespace {
+
+/// Directed-edge index aligned with CSR adjacency.
+struct ChannelIndex {
+  explicit ChannelIndex(const graph::Graph& g) : graph(g) {
+    offsets.assign(static_cast<std::size_t>(g.num_vertices()) + 1, 0);
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      offsets[static_cast<std::size_t>(v) + 1] =
+          offsets[static_cast<std::size_t>(v)] + g.degree(v);
+    }
+  }
+
+  int id(int u, int v) const {
+    const auto row = graph.neighbors(u);
+    const auto* it = std::lower_bound(row.begin(), row.end(), v);
+    if (it == row.end() || *it != v) {
+      throw std::invalid_argument("route crosses a non-edge");
+    }
+    return static_cast<int>(offsets[static_cast<std::size_t>(u)] +
+                            (it - row.begin()));
+  }
+
+  const graph::Graph& graph;
+  std::vector<std::int64_t> offsets;
+};
+
+}  // namespace
+
+DeadlockCheck check_channel_dependencies(
+    const graph::Graph& g,
+    const std::function<void(int, int, util::Rng&, Route&)>& route_fn,
+    int samples, int classes, std::uint64_t seed) {
+  if (classes < 1) classes = 1;
+  const ChannelIndex channels(g);
+  const auto num_links =
+      static_cast<std::int64_t>(channels.offsets.back());
+  const std::int64_t num_nodes = num_links * classes;
+
+  std::set<std::pair<int, int>> dependency_set;
+  util::Rng rng(seed);
+  Route route;
+  for (int s = 0; s < g.num_vertices(); ++s) {
+    for (int d = 0; d < g.num_vertices(); ++d) {
+      if (s == d) continue;
+      for (int rep = 0; rep < std::max(1, samples); ++rep) {
+        route.clear();
+        route_fn(s, d, rng, route);
+        if (route.len < 3) continue;  // < 2 links: no dependency
+        int prev = -1;
+        for (int h = 0; h + 1 < route.len; ++h) {
+          const int link = channels.id(
+              route.hops[static_cast<std::size_t>(h)],
+              route.hops[static_cast<std::size_t>(h) + 1]);
+          const int vc_class = std::min(h, classes - 1);
+          const int node = link * classes + vc_class;
+          if (prev >= 0) dependency_set.insert({prev, node});
+          prev = node;
+        }
+      }
+    }
+  }
+
+  DeadlockCheck check;
+  check.edges = static_cast<std::int64_t>(dependency_set.size());
+
+  // Adjacency over the touched nodes only.
+  std::vector<int> touched;
+  for (const auto& [a, b] : dependency_set) {
+    touched.push_back(a);
+    touched.push_back(b);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  check.nodes = static_cast<int>(touched.size());
+  (void)num_nodes;
+
+  auto compact = [&touched](const int node) {
+    return static_cast<int>(
+        std::lower_bound(touched.begin(), touched.end(), node) -
+        touched.begin());
+  };
+  std::vector<std::vector<int>> adj(touched.size());
+  for (const auto& [a, b] : dependency_set) {
+    adj[static_cast<std::size_t>(compact(a))].push_back(compact(b));
+  }
+
+  // Iterative DFS 3-coloring for cycle detection; count nodes on cycles
+  // via Kahn peeling instead (nodes never removed sit on or feed cycles).
+  std::vector<int> indegree(touched.size(), 0);
+  for (const auto& row : adj) {
+    for (const int b : row) ++indegree[static_cast<std::size_t>(b)];
+  }
+  std::vector<int> queue;
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    if (indegree[i] == 0) queue.push_back(static_cast<int>(i));
+  }
+  std::size_t removed = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    ++removed;
+    for (const int b : adj[static_cast<std::size_t>(u)]) {
+      if (--indegree[static_cast<std::size_t>(b)] == 0) {
+        queue.push_back(b);
+      }
+    }
+  }
+  // Peel from the other side too, so the count is nodes *on* cycles.
+  std::vector<int> outdegree(touched.size(), 0);
+  std::vector<std::vector<int>> radj(touched.size());
+  for (std::size_t a = 0; a < adj.size(); ++a) {
+    for (const int b : adj[a]) {
+      radj[static_cast<std::size_t>(b)].push_back(static_cast<int>(a));
+    }
+  }
+  std::vector<std::uint8_t> in_forward_residue(touched.size(), 1);
+  for (const int u : queue) {
+    in_forward_residue[static_cast<std::size_t>(u)] = 0;
+  }
+  for (auto& row : radj) {
+    row.erase(std::remove_if(row.begin(), row.end(),
+                             [&](const int a) {
+                               return in_forward_residue
+                                          [static_cast<std::size_t>(a)] == 0;
+                             }),
+              row.end());
+  }
+  std::vector<int> out_count(touched.size(), 0);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    if (!in_forward_residue[i]) continue;
+    for (const int b : adj[i]) {
+      if (in_forward_residue[static_cast<std::size_t>(b)]) {
+        ++out_count[i];
+      }
+    }
+  }
+  std::vector<int> back_queue;
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    if (in_forward_residue[i] && out_count[i] == 0) {
+      back_queue.push_back(static_cast<int>(i));
+    }
+  }
+  std::size_t back_removed = 0;
+  for (std::size_t head = 0; head < back_queue.size(); ++head) {
+    const int u = back_queue[head];
+    ++back_removed;
+    for (const int a : radj[static_cast<std::size_t>(u)]) {
+      if (--out_count[static_cast<std::size_t>(a)] == 0) {
+        back_queue.push_back(a);
+      }
+    }
+  }
+
+  const std::size_t on_cycles =
+      touched.size() - removed - back_removed;
+  check.acyclic = removed == touched.size();
+  check.cycle_length = static_cast<int>(on_cycles);
+  return check;
+}
+
+}  // namespace pf::sim

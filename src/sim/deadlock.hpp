@@ -1,0 +1,34 @@
+// Dally–Seitz deadlock-freedom verification: build the channel
+// dependency graph (CDG) of a routing function under a hop-class VC
+// assignment and check it for cycles. A channel node is (directed link,
+// VC class); a route that crosses link A on class i and then link B on
+// class j adds dependency (A, i) -> (B, j). Acyclic CDG => the routing
+// cannot deadlock with that many VC classes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace pf::sim {
+
+struct DeadlockCheck {
+  bool acyclic = false;
+  int nodes = 0;             ///< channel nodes with at least one edge
+  std::int64_t edges = 0;    ///< distinct dependency edges
+  int cycle_length = 0;      ///< nodes involved in cycles (0 if acyclic)
+};
+
+/// route_fn(s, d, rng, out) must fill `out` with the router path (or
+/// leave it empty for pairs that carry no traffic). Every ordered pair is
+/// sampled `samples` times — randomized schemes contribute several of
+/// their possible paths.
+DeadlockCheck check_channel_dependencies(
+    const graph::Graph& g,
+    const std::function<void(int, int, util::Rng&, Route&)>& route_fn,
+    int samples, int classes, std::uint64_t seed);
+
+}  // namespace pf::sim

@@ -1,0 +1,62 @@
+#include "sim/harness.hpp"
+
+#include "sim/routing.hpp"
+#include "util/parallel.hpp"
+
+namespace pf::sim {
+
+SimStats simulate(const graph::Graph& g, const std::vector<int>& endpoints,
+                  const RoutingAlgorithm& routing,
+                  const TrafficPattern& pattern, const SimConfig& config,
+                  double load) {
+  Network net(g, endpoints, routing, pattern, config, load);
+  net.run_phases();
+  SimStats stats;
+  stats.offered = load;
+  stats.accepted_load = net.accepted_load();
+  stats.avg_latency = net.avg_latency();
+  stats.p99_latency = net.p99_latency();
+  stats.converged = net.converged();
+  stats.delivered_packets = net.delivered_packets();
+  return stats;
+}
+
+double SweepResult::saturation() const {
+  double best = 0.0;
+  for (const auto& point : points) {
+    best = std::max(best, point.accepted);
+  }
+  return best;
+}
+
+SweepResult sweep_loads(const graph::Graph& g,
+                        const std::vector<int>& endpoints,
+                        const RoutingAlgorithm& routing,
+                        const TrafficPattern& pattern,
+                        const SimConfig& config,
+                        const std::vector<double>& loads,
+                        const std::string& label) {
+  SweepResult sweep;
+  sweep.label = label;
+  sweep.points.resize(loads.size());
+  util::parallel_for(0, loads.size(), [&](std::size_t i) {
+    const SimStats stats =
+        simulate(g, endpoints, routing, pattern, config, loads[i]);
+    sweep.points[i] = {stats.offered, stats.accepted_load, stats.avg_latency,
+                       stats.p99_latency, stats.converged};
+  });
+  return sweep;
+}
+
+std::vector<double> load_steps(double lo, double hi, int count) {
+  std::vector<double> loads;
+  loads.reserve(static_cast<std::size_t>(std::max(0, count)));
+  for (int i = 0; i < count; ++i) {
+    loads.push_back(count == 1 ? lo
+                               : lo + (hi - lo) * static_cast<double>(i) /
+                                          static_cast<double>(count - 1));
+  }
+  return loads;
+}
+
+}  // namespace pf::sim

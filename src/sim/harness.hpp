@@ -1,0 +1,59 @@
+// The measurement harness: one simulation point (warmup / measure /
+// drain) and the latency-vs-load sweep used by every figure bench, with
+// the sweep points run in parallel on the shared thread pool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+
+namespace pf::sim {
+
+class RoutingAlgorithm;
+
+struct SimStats {
+  double offered = 0.0;
+  double accepted_load = 0.0;
+  double avg_latency = 0.0;
+  double p99_latency = 0.0;
+  bool converged = false;
+  std::int64_t delivered_packets = 0;
+};
+
+SimStats simulate(const graph::Graph& g, const std::vector<int>& endpoints,
+                  const RoutingAlgorithm& routing,
+                  const TrafficPattern& pattern, const SimConfig& config,
+                  double load);
+
+struct SweepPoint {
+  double offered = 0.0;
+  double accepted = 0.0;
+  double avg_latency = 0.0;
+  double p99_latency = 0.0;
+  bool converged = false;
+};
+
+struct SweepResult {
+  std::string label;
+  std::vector<SweepPoint> points;
+
+  /// Saturation throughput: the largest accepted load over the sweep
+  /// (accepted plateaus once offered load passes saturation).
+  double saturation() const;
+};
+
+SweepResult sweep_loads(const graph::Graph& g,
+                        const std::vector<int>& endpoints,
+                        const RoutingAlgorithm& routing,
+                        const TrafficPattern& pattern,
+                        const SimConfig& config,
+                        const std::vector<double>& loads,
+                        const std::string& label);
+
+/// `count` evenly spaced loads from lo to hi inclusive.
+std::vector<double> load_steps(double lo, double hi, int count);
+
+}  // namespace pf::sim

@@ -1,0 +1,293 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+#include "sim/routing.hpp"
+
+namespace pf::sim {
+
+Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
+                 const RoutingAlgorithm& routing,
+                 const TrafficPattern& pattern, const SimConfig& config,
+                 double load)
+    : graph_(g),
+      routing_(routing),
+      pattern_(pattern),
+      config_(config),
+      load_(load),
+      endpoints_(endpoints),
+      rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+  const int n = g.num_vertices();
+  if (static_cast<int>(endpoints_.size()) != n) {
+    throw std::invalid_argument("endpoints size != num_vertices");
+  }
+  terminals_ = terminal_routers(endpoints_);
+  terminal_eject_free_.assign(terminals_.size(), 0);
+  terminal_inject_free_.assign(terminals_.size(), 0);
+
+  // VC organization: one class per possible hop, sub-VCs split the rest.
+  classes_ = std::max(1, std::min(config_.vcs, routing_.max_hops()));
+  subvcs_ = std::max(1, config_.vcs / classes_);
+  const int vcs_used = classes_ * subvcs_;
+  vc_cap_packets_ = std::max(
+      1, config_.buf_per_port / vcs_used / std::max(1, config_.packet_size));
+
+  // Directed channel table aligned with the CSR adjacency.
+  channel_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    channel_offset_[static_cast<std::size_t>(v) + 1] =
+        channel_offset_[static_cast<std::size_t>(v)] + g.degree(v);
+  }
+  const auto num_channels =
+      static_cast<std::size_t>(channel_offset_[static_cast<std::size_t>(n)]);
+  channel_target_.reserve(num_channels);
+  in_channels_.assign(static_cast<std::size_t>(n), {});
+  for (int v = 0; v < n; ++v) {
+    for (const std::int32_t u : g.neighbors(v)) {
+      in_channels_[static_cast<std::size_t>(u)].push_back(
+          static_cast<int>(channel_target_.size()));
+      channel_target_.push_back(u);
+    }
+  }
+  channel_occupancy_.assign(num_channels, 0);
+  waiting_for_output_.assign(num_channels, 0);
+  channels_.resize(num_channels);
+  for (auto& channel : channels_) {
+    channel.vc_queues.resize(static_cast<std::size_t>(vcs_used));
+  }
+  injection_pool_.assign(static_cast<std::size_t>(n), {});
+  arb_pointer_.assign(static_cast<std::size_t>(n), 0);
+}
+
+double Network::first_hop_occupancy(int u, int v) const {
+  const auto c = static_cast<std::size_t>(channel_id(u, v));
+  const auto& channel = channels_[c];
+  std::size_t queued = static_cast<std::size_t>(waiting_for_output_[c]);
+  for (int vc = 0; vc < subvcs_; ++vc) {
+    queued += channel.vc_queues[static_cast<std::size_t>(vc)].size();
+  }
+  return static_cast<double>(queued) /
+         static_cast<double>(static_cast<std::size_t>(subvcs_) *
+                             static_cast<std::size_t>(vc_cap_packets_));
+}
+
+int Network::channel_id(int u, int v) const {
+  const auto row = graph_.neighbors(u);
+  const auto* it = std::lower_bound(row.begin(), row.end(), v);
+  if (it == row.end() || *it != v) {
+    throw std::invalid_argument("channel_id: no such link");
+  }
+  return static_cast<int>(channel_offset_[static_cast<std::size_t>(u)] +
+                          (it - row.begin()));
+}
+
+void Network::inject_new_packets() {
+  const double packet_prob =
+      load_ / static_cast<double>(std::max(1, config_.packet_size));
+  // Finite source queues: a terminal whose injection backlog is this many
+  // packets deep stops generating until it drains. Below saturation the
+  // backlog never builds, so measurements are unaffected; past saturation
+  // this keeps the open loop from spiralling into pathological depth.
+  const std::int64_t max_backlog =
+      static_cast<std::int64_t>(16) * config_.packet_size;
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    if (terminal_inject_free_[t] > cycle_ + max_backlog) continue;
+    if (!rng_.chance(packet_prob)) continue;
+    int id;
+    if (free_packets_.empty()) {
+      id = static_cast<int>(packets_.size());
+      packets_.emplace_back();
+    } else {
+      id = free_packets_.back();
+      free_packets_.pop_back();
+      packets_[static_cast<std::size_t>(id)] = Packet{};
+    }
+    Packet& packet = packets_[static_cast<std::size_t>(id)];
+    packet.src_router = terminals_[t];
+    packet.dst_terminal = pattern_.destination(static_cast<int>(t), rng_);
+    packet.subvc = static_cast<int>(
+        rng_.below(static_cast<std::uint64_t>(subvcs_)));
+    packet.birth = cycle_;
+    packet.ready = std::max(cycle_, terminal_inject_free_[t]);
+    terminal_inject_free_[t] = packet.ready + config_.packet_size;
+    packet.measured = measuring_;
+    if (packet.measured) ++measured_generated_;
+    injection_pool_[static_cast<std::size_t>(packet.src_router)].push_back(
+        id);
+  }
+}
+
+void Network::eject(int packet_id) {
+  Packet& packet = packets_[static_cast<std::size_t>(packet_id)];
+  const auto t = static_cast<std::size_t>(packet.dst_terminal);
+  terminal_eject_free_[t] = cycle_ + config_.packet_size;
+  const std::int64_t latency = cycle_ + config_.packet_size - packet.birth;
+  if (cycle_ >= measure_start_ && cycle_ < measure_end_) {
+    measured_flits_ejected_ += config_.packet_size;
+  }
+  if (packet.measured) {
+    ++measured_delivered_;
+    latencies_.push_back(latency);
+  }
+  release_packet(packet_id);
+}
+
+void Network::release_packet(int packet_id) {
+  free_packets_.push_back(packet_id);
+}
+
+/// Attempts to grant the packet (currently at `at_router`, head ready)
+/// its next move: ejection at the destination or one hop forward.
+/// Returns true when the packet left the current buffer.
+bool Network::try_dispatch(int packet_id, int at_router) {
+  Packet& packet = packets_[static_cast<std::size_t>(packet_id)];
+  if (packet.ready > cycle_) return false;
+
+  // Lazy routing: decided when the packet first gets a shot at the
+  // switch, so adaptive schemes read fresh congestion state.
+  if (packet.route.len == 0) {
+    const int dst_router =
+        pattern_.router_of(packet.dst_terminal);
+    if (packet.src_router == dst_router) {
+      packet.route.push(packet.src_router);
+    } else {
+      routing_.route(*this, packet.src_router, dst_router, rng_,
+                     packet.route);
+      // The packet now queues for its chosen first link.
+      ++waiting_for_output_[static_cast<std::size_t>(
+          channel_id(packet.src_router, packet.route.hops[1]))];
+    }
+  }
+
+  if (packet.hop == packet.route.len - 1) {
+    // At the destination router: eject through the terminal's port.
+    if (terminal_eject_free_[static_cast<std::size_t>(
+            packet.dst_terminal)] > cycle_) {
+      return false;
+    }
+    eject(packet_id);
+    return true;
+  }
+
+  const int next =
+      packet.route.hops[static_cast<std::size_t>(packet.hop) + 1];
+  const int out = channel_id(at_router, next);
+  ChannelState& out_channel = channels_[static_cast<std::size_t>(out)];
+  if (out_channel.busy_until > cycle_) return false;  // link serializing
+
+  // packet.hop is still the 0-based index of the link being taken, so
+  // the first hop lands in class 0 — matching the class assignment the
+  // deadlock checker certifies.
+  const int vc = vc_for(packet);
+  auto& queue = out_channel.vc_queues[static_cast<std::size_t>(vc)];
+  if (static_cast<int>(queue.size()) >= vc_cap_packets_) {
+    return false;  // no downstream credit
+  }
+  ++packet.hop;
+  queue.push_back(packet_id);
+  out_channel.nonempty |= 1ULL << vc;
+  out_channel.busy_until = cycle_ + config_.packet_size;
+  channel_occupancy_[static_cast<std::size_t>(out)] += config_.packet_size;
+  if (packet.hop == 1 && packet.route.len >= 2) {
+    // Departed the source: leave that first-hop waiting queue.
+    --waiting_for_output_[static_cast<std::size_t>(out)];
+  }
+  packet.ready = cycle_ + 1;  // head arrives downstream next cycle
+  return true;
+}
+
+void Network::allocate_router(int v) {
+  // Transit before injection: in-network packets get first claim on the
+  // output links, otherwise saturated sources starve every through-flow
+  // and the network gridlocks instead of plateauing.
+  const auto& incoming = in_channels_[static_cast<std::size_t>(v)];
+  const std::size_t start =
+      incoming.empty()
+          ? 0
+          : arb_pointer_[static_cast<std::size_t>(v)]++ % incoming.size();
+  for (std::size_t k = 0; k < incoming.size(); ++k) {
+    const int c = incoming[(start + k) % incoming.size()];
+    ChannelState& channel = channels_[static_cast<std::size_t>(c)];
+    std::uint64_t mask = channel.nonempty;
+    while (mask != 0) {
+      // Highest VC first: higher hop classes are closer to delivery, and
+      // draining them first keeps overload from jamming the intermediate
+      // buffers with half-way packets.
+      const int vc = 63 - __builtin_clzll(mask);
+      mask &= ~(1ULL << vc);
+      auto& queue = channel.vc_queues[static_cast<std::size_t>(vc)];
+      const int packet_id = queue.front();
+      if (try_dispatch(packet_id, v)) {
+        queue.pop_front();
+        if (queue.empty()) channel.nonempty &= ~(1ULL << vc);
+        channel_occupancy_[static_cast<std::size_t>(c)] -=
+            config_.packet_size;
+      }
+    }
+  }
+
+  // Injection pool last, first-come-first-served with a bounded scan.
+  auto& pool = injection_pool_[static_cast<std::size_t>(v)];
+  const std::size_t scan =
+      std::min(pool.size(),
+               static_cast<std::size_t>(
+                   4 * endpoints_[static_cast<std::size_t>(v)] + 8));
+  for (std::size_t i = 0; i < pool.size() && i < scan;) {
+    if (try_dispatch(pool[i], v)) {
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Network::step() {
+  inject_new_packets();
+  for (int v = 0; v < graph_.num_vertices(); ++v) allocate_router(v);
+  ++cycle_;
+}
+
+void Network::run_phases() {
+  for (int i = 0; i < config_.warmup_cycles; ++i) step();
+
+  measuring_ = true;
+  measure_start_ = cycle_;
+  measure_end_ = cycle_ + config_.measure_cycles;
+  for (int i = 0; i < config_.measure_cycles; ++i) step();
+  measuring_ = false;
+
+  for (int i = 0;
+       i < config_.drain_cycles && measured_delivered_ < measured_generated_;
+       ++i) {
+    step();
+  }
+}
+
+double Network::accepted_load() const {
+  if (terminals_.empty() || config_.measure_cycles == 0) return 0.0;
+  return static_cast<double>(measured_flits_ejected_) /
+         (static_cast<double>(config_.measure_cycles) *
+          static_cast<double>(terminals_.size()));
+}
+
+double Network::avg_latency() const {
+  if (latencies_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::int64_t l : latencies_) sum += static_cast<double>(l);
+  return sum / static_cast<double>(latencies_.size());
+}
+
+double Network::p99_latency() const {
+  if (latencies_.empty()) return 0.0;
+  std::vector<std::int64_t> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto index = static_cast<std::size_t>(
+      0.99 * static_cast<double>(sorted.size() - 1));
+  return static_cast<double>(sorted[index]);
+}
+
+bool Network::converged() const {
+  return measured_delivered_ == measured_generated_;
+}
+
+}  // namespace pf::sim

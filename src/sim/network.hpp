@@ -1,0 +1,183 @@
+// The cycle-level network simulator: input-queued virtual-channel
+// routers in virtual cut-through mode with credit-based backpressure and
+// a single-stage rotating-priority allocator (the extra sub-VCs of the
+// bench configs compensate for the single stage; see bench/common.hpp).
+//
+// Model per cycle:
+//   - each endpoint Bernoulli-generates packets at the offered load and
+//     queues them at its router's injection port (open loop);
+//   - source routing: the routing algorithm produces the full router path
+//     at injection, reading live queue state for adaptive decisions;
+//   - each output link forwards one packet every `packet_size` cycles to
+//     the downstream input VC chosen by hop class (class = hop index,
+//     sub-VCs split by packet id), if that VC has room for the packet;
+//   - packets whose head has arrived at their destination eject through
+//     their endpoint's ejection port (one flit per cycle per endpoint).
+//
+// Latency = birth (generation) to tail ejection, in cycles.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace pf::sim {
+
+class RoutingAlgorithm;
+
+struct SimConfig {
+  int packet_size = 4;      ///< flits per packet
+  int vcs = 16;             ///< virtual channels per input port
+  int buf_per_port = 256;   ///< flit buffer per input port (split over VCs)
+  int warmup_cycles = 3000;
+  int measure_cycles = 4000;
+  int drain_cycles = 8000;
+  std::uint64_t seed = 42;
+};
+
+/// A source route: the router sequence hops[0..len), hops[0] = source.
+struct Route {
+  static constexpr int kMaxLen = 24;
+  int len = 0;
+  std::array<std::int32_t, kMaxLen> hops{};
+
+  void clear() { len = 0; }
+  void push(std::int32_t v) {
+    if (len >= kMaxLen) throw std::length_error("route too long");
+    hops[static_cast<std::size_t>(len++)] = v;
+  }
+  std::int32_t back() const {
+    return hops[static_cast<std::size_t>(len - 1)];
+  }
+};
+
+class Network {
+ public:
+  Network(const graph::Graph& g, const std::vector<int>& endpoints,
+          const RoutingAlgorithm& routing, const TrafficPattern& pattern,
+          const SimConfig& config, double load);
+
+  const graph::Graph& graph() const { return graph_; }
+  const SimConfig& config() const { return config_; }
+
+  /// The congestion adaptive routing reads for link u -> v: flits
+  /// buffered (or reserved) at the downstream end plus flits of injected
+  /// packets at u still waiting for that link as their first hop — the
+  /// source-side output queue of classic UGAL.
+  int out_queue_flits(int u, int v) const {
+    const auto c = static_cast<std::size_t>(channel_id(u, v));
+    return channel_occupancy_[c] +
+           waiting_for_output_[c] * config_.packet_size;
+  }
+
+  /// out_queue_flits as a fraction of the input-port buffer.
+  double out_occupancy(int u, int v) const {
+    return static_cast<double>(out_queue_flits(u, v)) /
+           static_cast<double>(config_.buf_per_port);
+  }
+
+  /// Occupancy of the class-0 (first-hop) VCs of link u -> v relative to
+  /// their own capacity — the congestion signal a source sees for a
+  /// packet it is about to inject (fresh packets can only enter class 0,
+  /// so normalizing by the whole port would never read "congested").
+  double first_hop_occupancy(int u, int v) const;
+
+  /// Advances one cycle.
+  void step();
+
+  /// Runs the standard warmup / measure / drain schedule.
+  void run_phases();
+
+  // --- measurement (valid after run_phases) ---
+  double offered_load() const { return load_; }
+  double accepted_load() const;   ///< flits/cycle/endpoint in measure phase
+  double avg_latency() const;
+  double p99_latency() const;
+  bool converged() const;         ///< all measured packets delivered
+  std::int64_t delivered_packets() const { return measured_delivered_; }
+
+  std::int64_t current_cycle() const { return cycle_; }
+
+ private:
+  struct Packet {
+    Route route;            ///< empty until first allocation (lazy routing)
+    int hop = 0;            ///< index into route of the current router
+    int src_router = 0;
+    int dst_terminal = 0;
+    int subvc = 0;
+    std::int64_t birth = 0;
+    std::int64_t ready = 0;  ///< head-arrival time at the current router
+    bool measured = false;
+  };
+
+  /// One directed channel's input-side state at the downstream router.
+  struct ChannelState {
+    std::vector<std::deque<int>> vc_queues;  ///< packet ids per VC
+    std::uint64_t nonempty = 0;              ///< bitmask over VCs
+    std::int64_t busy_until = 0;             ///< link serialization
+  };
+
+  int channel_id(int u, int v) const;
+  int vc_for(const Packet& packet) const {
+    const int hop_class = std::min(packet.hop, classes_ - 1);
+    return hop_class * subvcs_ + packet.subvc;
+  }
+  void inject_new_packets();
+  void allocate_router(int v);
+  bool try_dispatch(int packet_id, int at_router);  ///< grant check + move
+  void eject(int packet_id);
+  void release_packet(int packet_id);
+
+  const graph::Graph& graph_;
+  const RoutingAlgorithm& routing_;
+  const TrafficPattern& pattern_;
+  SimConfig config_;
+  double load_ = 0.0;
+
+  std::vector<int> endpoints_;  ///< endpoints per router
+  std::vector<int> terminals_;  ///< terminal -> router
+  std::vector<std::int64_t> terminal_eject_free_;
+  std::vector<std::int64_t> terminal_inject_free_;
+
+  // CSR-style directed channel indexing aligned with graph adjacency.
+  std::vector<std::int64_t> channel_offset_;  ///< router -> first channel
+  std::vector<std::int32_t> channel_target_;  ///< channel -> downstream
+  std::vector<std::vector<int>> in_channels_; ///< router -> incoming ids
+  std::vector<int> channel_occupancy_;        ///< reserved flits/channel
+  /// Injected-but-not-yet-departed packets committed to each channel as
+  /// their first hop (the source-side output queue).
+  std::vector<int> waiting_for_output_;
+
+  std::vector<ChannelState> channels_;        ///< one per directed edge
+  std::vector<std::deque<int>> injection_pool_;  ///< per router
+
+  std::vector<Packet> packets_;
+  std::vector<int> free_packets_;
+
+  int vc_cap_packets_ = 1;  ///< packets per VC buffer
+  int classes_ = 1;         ///< VC classes (hop based)
+  int subvcs_ = 1;          ///< sub-VCs per class
+  std::int64_t cycle_ = 0;
+  util::Rng rng_;
+
+  std::vector<std::uint32_t> arb_pointer_;  ///< rotating priority/router
+
+  // Measurement state.
+  bool measuring_ = false;
+  std::int64_t measure_start_ = 0;
+  std::int64_t measure_end_ = 0;
+  std::int64_t measured_generated_ = 0;
+  std::int64_t measured_delivered_ = 0;
+  std::int64_t measured_flits_ejected_ = 0;
+  std::vector<std::int64_t> latencies_;
+};
+
+}  // namespace pf::sim

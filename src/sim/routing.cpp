@@ -1,0 +1,178 @@
+#include "sim/routing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algos.hpp"
+#include "util/parallel.hpp"
+
+namespace pf::sim {
+
+DistanceOracle::DistanceOracle(const graph::Graph& g) : n_(g.num_vertices()) {
+  dist_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+               -1);
+  std::vector<int> diameters(static_cast<std::size_t>(n_), 0);
+  util::parallel_for(0, static_cast<std::size_t>(n_), [&](std::size_t src) {
+    const auto row = graph::bfs_distances(g, static_cast<int>(src));
+    int local_max = 0;
+    for (int v = 0; v < n_; ++v) {
+      dist_[src * static_cast<std::size_t>(n_) +
+            static_cast<std::size_t>(v)] =
+          static_cast<std::int16_t>(row[static_cast<std::size_t>(v)]);
+      local_max = std::max(local_max, row[static_cast<std::size_t>(v)]);
+    }
+    diameters[src] = local_max;
+  });
+  diameter_ = *std::max_element(diameters.begin(), diameters.end());
+}
+
+void DistanceOracle::sample_min_path(const graph::Graph& g, int s, int d,
+                                     util::Rng& rng, Route& out) const {
+  if (out.len == 0 || out.back() != s) out.push(s);
+  int at = s;
+  while (at != d) {
+    const int remaining = distance(at, d);
+    // Reservoir-sample uniformly among descending neighbors.
+    int pick = -1;
+    int seen = 0;
+    for (const std::int32_t v : g.neighbors(at)) {
+      if (distance(static_cast<int>(v), d) == remaining - 1) {
+        ++seen;
+        if (rng.below(static_cast<std::uint64_t>(seen)) == 0) {
+          pick = static_cast<int>(v);
+        }
+      }
+    }
+    if (pick < 0) throw std::logic_error("min-path sampling: no descent");
+    out.push(pick);
+    at = pick;
+  }
+}
+
+void MinimalRouting::route(const Network& net, int src, int dst,
+                           util::Rng& rng, Route& out) const {
+  (void)net;
+  oracle_.sample_min_path(graph_, src, dst, rng, out);
+}
+
+void ValiantRouting::route(const Network& net, int src, int dst,
+                           util::Rng& rng, Route& out) const {
+  (void)net;
+  const int n = graph_.num_vertices();
+  if (n < 3) {  // no third vertex to detour through
+    oracle_.sample_min_path(graph_, src, dst, rng, out);
+    return;
+  }
+  int mid = src;
+  while (mid == src || mid == dst) {
+    mid = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  }
+  oracle_.sample_min_path(graph_, src, mid, rng, out);
+  oracle_.sample_min_path(graph_, mid, dst, rng, out);
+}
+
+void CompactValiantRouting::route(const Network& net, int src, int dst,
+                                  util::Rng& rng, Route& out) const {
+  (void)net;
+  const auto row = graph_.neighbors(src);
+  // A random neighbor that isn't the destination (if one exists).
+  int mid = dst;
+  for (int tries = 0; tries < 8 && mid == dst; ++tries) {
+    mid = row[rng.below(row.size())];
+  }
+  if (mid == dst) {
+    oracle_.sample_min_path(graph_, src, dst, rng, out);
+    return;
+  }
+  out.push(src);
+  out.push(mid);
+  oracle_.sample_min_path(graph_, mid, dst, rng, out);
+}
+
+void UgalRouting::route(const Network& net, int src, int dst,
+                        util::Rng& rng, Route& out) const {
+  Route minimal;
+  oracle_.sample_min_path(graph_, src, dst, rng, minimal);
+  if (minimal.len < 2) {  // src == dst
+    out = minimal;
+    return;
+  }
+
+  // Adaptivity gate: stick to the minimal path while its first hop's
+  // class-0 buffer occupancy is at or below the threshold.
+  if (threshold_ > 0.0 &&
+      net.first_hop_occupancy(src, minimal.hops[1]) <= threshold_) {
+    out = minimal;
+    return;
+  }
+
+  Route detour;
+  if (compact_) {
+    CompactValiantRouting(graph_, oracle_).route(net, src, dst, rng, detour);
+  } else {
+    ValiantRouting(graph_, oracle_).route(net, src, dst, rng, detour);
+  }
+  if (detour.len < 2) {
+    out = minimal;
+    return;
+  }
+
+  // Classic UGAL decision: queue length x path length.
+  const std::int64_t min_cost =
+      static_cast<std::int64_t>(net.out_queue_flits(src, minimal.hops[1])) *
+      (minimal.len - 1);
+  const std::int64_t detour_cost =
+      static_cast<std::int64_t>(net.out_queue_flits(src, detour.hops[1])) *
+      (detour.len - 1);
+  out = min_cost <= detour_cost ? minimal : detour;
+}
+
+void FatTreeNcaRouting::route(const Network& net, int src, int dst,
+                              util::Rng& rng, Route& out) const {
+  (void)net;
+  out.push(src);
+  if (src == dst) return;
+  const int src_leaf = ft_.index_of(src);
+  const int dst_leaf = ft_.index_of(dst);
+  if (ft_.level_of(src) != 0 || ft_.level_of(dst) != 0) {
+    throw std::invalid_argument("NCA routing runs between leaf switches");
+  }
+  const int nca = ft_.nca_level(src_leaf, dst_leaf);
+
+  // Up phase: pick the varied digit at random at every level (all up
+  // paths are valid — the down phase can fix any prefix).
+  int index = src_leaf;
+  int stride = 1;
+  for (int level = 0; level < nca; ++level) {
+    const int digit = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(ft_.arity())));
+    index += (digit - ft_.digit(index, level)) * stride;
+    out.push(ft_.switch_id(level + 1, index));
+    stride *= ft_.arity();
+  }
+  // Down phase: restore the destination's digits, most significant of the
+  // varied range first.
+  for (int level = nca; level > 0; --level) {
+    stride /= ft_.arity();
+    index += (ft_.digit(dst_leaf, level - 1) - ft_.digit(index, level - 1)) *
+             stride;
+    out.push(ft_.switch_id(level - 1, index));
+  }
+}
+
+void AlgebraicPolarFlyRouting::route(const Network& net, int src, int dst,
+                                     util::Rng& rng, Route& out) const {
+  (void)net;
+  (void)rng;
+  out.push(src);
+  if (src == dst) return;
+  if (pf_.dot(src, dst) == 0) {  // adjacent: one dot product
+    out.push(dst);
+    return;
+  }
+  const int mid = pf_.intermediate(src, dst);  // one cross product
+  out.push(mid);
+  out.push(dst);
+}
+
+}  // namespace pf::sim

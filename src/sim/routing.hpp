@@ -1,0 +1,156 @@
+// Routing algorithms over the simulator: a precomputed all-pairs
+// DistanceOracle drives table-based minimal routing and the Valiant /
+// UGAL family; FatTreeNcaRouting and AlgebraicPolarFlyRouting are the
+// two table-free structural schemes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/polarfly.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+#include "topo/fattree.hpp"
+#include "util/rng.hpp"
+
+namespace pf::sim {
+
+/// All-pairs hop distances (BFS from every vertex, parallelized), plus
+/// uniform sampling of minimal paths.
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const graph::Graph& g);
+
+  int distance(int u, int v) const {
+    return dist_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(v)];
+  }
+
+  int diameter() const { return diameter_; }
+
+  /// Appends to `out` a uniformly random minimal path s .. d (inclusive;
+  /// out typically starts empty or ending at s).
+  void sample_min_path(const graph::Graph& g, int s, int d, util::Rng& rng,
+                       Route& out) const;
+
+ private:
+  int n_ = 0;
+  int diameter_ = 0;
+  std::vector<std::int16_t> dist_;  ///< -1 when unreachable
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+  virtual std::string name() const = 0;
+  /// Upper bound on route hops — sets the VC class count for deadlock
+  /// freedom (one class per hop).
+  virtual int max_hops() const = 0;
+  virtual void route(const Network& net, int src, int dst, util::Rng& rng,
+                     Route& out) const = 0;
+};
+
+/// Uniformly sampled shortest path.
+class MinimalRouting final : public RoutingAlgorithm {
+ public:
+  MinimalRouting(const graph::Graph& g, const DistanceOracle& oracle)
+      : graph_(g), oracle_(oracle) {}
+  std::string name() const override { return "MIN"; }
+  int max_hops() const override { return std::max(1, oracle_.diameter()); }
+  void route(const Network& net, int src, int dst, util::Rng& rng,
+             Route& out) const override;
+
+ private:
+  const graph::Graph& graph_;
+  const DistanceOracle& oracle_;
+};
+
+/// Valiant: minimal to a uniformly random intermediate router, then
+/// minimal to the destination.
+class ValiantRouting final : public RoutingAlgorithm {
+ public:
+  ValiantRouting(const graph::Graph& g, const DistanceOracle& oracle)
+      : graph_(g), oracle_(oracle) {}
+  std::string name() const override { return "VAL"; }
+  int max_hops() const override { return 2 * std::max(1, oracle_.diameter()); }
+  void route(const Network& net, int src, int dst, util::Rng& rng,
+             Route& out) const override;
+
+ private:
+  const graph::Graph& graph_;
+  const DistanceOracle& oracle_;
+};
+
+/// Compact Valiant: detour through a random *neighbor* of the source —
+/// on PolarFly a 3-hop worst case instead of Valiant's 4.
+class CompactValiantRouting final : public RoutingAlgorithm {
+ public:
+  CompactValiantRouting(const graph::Graph& g, const DistanceOracle& oracle)
+      : graph_(g), oracle_(oracle) {}
+  std::string name() const override { return "CVAL"; }
+  int max_hops() const override { return std::max(1, oracle_.diameter()) + 1; }
+  void route(const Network& net, int src, int dst, util::Rng& rng,
+             Route& out) const override;
+
+ private:
+  const graph::Graph& graph_;
+  const DistanceOracle& oracle_;
+};
+
+/// UGAL: pick minimal vs a detour candidate by comparing first-hop queue
+/// length x path length. `compact` selects the compact-Valiant detour
+/// (UGAL-PF) instead of classic Valiant; `threshold` gates adaptivity:
+/// the detour is only considered once the minimal first-hop buffer
+/// occupancy exceeds it (0 = always consider, > 1 = never, i.e. MIN).
+class UgalRouting final : public RoutingAlgorithm {
+ public:
+  UgalRouting(const graph::Graph& g, const DistanceOracle& oracle,
+              bool compact, double threshold = 0.0)
+      : graph_(g), oracle_(oracle), compact_(compact),
+        threshold_(threshold) {}
+  std::string name() const override { return compact_ ? "UGAL-PF" : "UGAL"; }
+  int max_hops() const override {
+    const int d = std::max(1, oracle_.diameter());
+    return compact_ ? d + 1 : 2 * d;
+  }
+  void route(const Network& net, int src, int dst, util::Rng& rng,
+             Route& out) const override;
+
+ private:
+  const graph::Graph& graph_;
+  const DistanceOracle& oracle_;
+  bool compact_ = false;
+  double threshold_ = 0.0;
+};
+
+/// Fat-tree nearest-common-ancestor routing: adaptive random up-links to
+/// the NCA level, deterministic digit-fixing down-path.
+class FatTreeNcaRouting final : public RoutingAlgorithm {
+ public:
+  explicit FatTreeNcaRouting(const topo::FatTree& ft) : ft_(ft) {}
+  std::string name() const override { return "NCA"; }
+  int max_hops() const override { return 2 * (ft_.levels() - 1); }
+  void route(const Network& net, int src, int dst, util::Rng& rng,
+             Route& out) const override;
+
+ private:
+  const topo::FatTree& ft_;
+};
+
+/// Table-free PolarFly routing (SS IV-D): adjacency is a dot product;
+/// the 2-hop intermediate is the normalized cross product.
+class AlgebraicPolarFlyRouting final : public RoutingAlgorithm {
+ public:
+  explicit AlgebraicPolarFlyRouting(const core::PolarFly& pf) : pf_(pf) {}
+  std::string name() const override { return "ALG"; }
+  int max_hops() const override { return 2; }
+  void route(const Network& net, int src, int dst, util::Rng& rng,
+             Route& out) const override;
+
+ private:
+  const core::PolarFly& pf_;
+};
+
+}  // namespace pf::sim

@@ -1,0 +1,205 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algos.hpp"
+
+namespace pf::sim {
+
+std::vector<int> uniform_endpoints(int num_routers, int p) {
+  return std::vector<int>(static_cast<std::size_t>(num_routers), p);
+}
+
+std::vector<int> terminal_routers(const std::vector<int>& endpoints) {
+  std::vector<int> terminals;
+  for (std::size_t r = 0; r < endpoints.size(); ++r) {
+    for (int i = 0; i < endpoints[r]; ++i) {
+      terminals.push_back(static_cast<int>(r));
+    }
+  }
+  return terminals;
+}
+
+PermutationTraffic PermutationTraffic::tornado(std::vector<int> terminals) {
+  const int t = static_cast<int>(terminals.size());
+  if (t == 0) throw std::invalid_argument("tornado needs terminals");
+  // Group terminals by router (terminals is router-major, so slots are
+  // consecutive); send slot s of router r to slot s of router r + R/2.
+  std::vector<int> routers;   // distinct routers in order
+  std::vector<int> first;     // first terminal of each router
+  for (int i = 0; i < t; ++i) {
+    if (routers.empty() ||
+        routers.back() != terminals[static_cast<std::size_t>(i)]) {
+      routers.push_back(terminals[static_cast<std::size_t>(i)]);
+      first.push_back(i);
+    }
+  }
+  first.push_back(t);
+  const int r = static_cast<int>(routers.size());
+  std::vector<int> perm(static_cast<std::size_t>(t));
+  for (int ri = 0; ri < r; ++ri) {
+    const int target = (ri + r / 2) % r;
+    const int src_base = first[static_cast<std::size_t>(ri)];
+    const int src_count = first[static_cast<std::size_t>(ri) + 1] - src_base;
+    const int dst_base = first[static_cast<std::size_t>(target)];
+    const int dst_count =
+        first[static_cast<std::size_t>(target) + 1] - dst_base;
+    for (int s = 0; s < src_count; ++s) {
+      perm[static_cast<std::size_t>(src_base + s)] =
+          dst_base + s % std::max(1, dst_count);
+    }
+  }
+  return PermutationTraffic(std::move(terminals), std::move(perm), "tornado");
+}
+
+PermutationTraffic PermutationTraffic::random(std::vector<int> terminals,
+                                              std::uint64_t seed) {
+  const int t = static_cast<int>(terminals.size());
+  util::Rng rng(seed);
+  std::vector<int> perm(static_cast<std::size_t>(t));
+  std::iota(perm.begin(), perm.end(), 0);
+  util::shuffle(perm, rng);
+  // Displace fixed points so nobody talks to itself.
+  for (int i = 0; i < t; ++i) {
+    if (perm[static_cast<std::size_t>(i)] == i) {
+      const int j = (i + 1) % t;
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+  }
+  return PermutationTraffic(std::move(terminals), std::move(perm),
+                            "randperm");
+}
+
+PermutationTraffic PermutationTraffic::bit_complement(
+    std::vector<int> terminals) {
+  const int t = static_cast<int>(terminals.size());
+  std::vector<int> perm(static_cast<std::size_t>(t));
+  // Reversal (true bit complement for power-of-two t). Odd t keeps its
+  // middle terminal as the permutation's one fixed point — locally
+  // ejected traffic.
+  for (int i = 0; i < t; ++i) perm[static_cast<std::size_t>(i)] = t - 1 - i;
+  return PermutationTraffic(std::move(terminals), std::move(perm),
+                            "bitcomp");
+}
+
+PermutationTraffic PermutationTraffic::at_distance(const graph::Graph& g,
+                                                   std::vector<int> terminals,
+                                                   int distance,
+                                                   std::uint64_t seed) {
+  const int t = static_cast<int>(terminals.size());
+  util::Rng rng(seed);
+
+  // Hop distances between the routers that actually host terminals.
+  std::vector<int> routers = terminals;
+  std::sort(routers.begin(), routers.end());
+  routers.erase(std::unique(routers.begin(), routers.end()), routers.end());
+  std::vector<std::vector<int>> dist;
+  dist.reserve(routers.size());
+  for (const int r : routers) dist.push_back(graph::bfs_distances(g, r));
+  std::vector<int> router_slot(static_cast<std::size_t>(g.num_vertices()),
+                               -1);
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    router_slot[static_cast<std::size_t>(routers[i])] = static_cast<int>(i);
+  }
+  auto hops = [&](const int ra, const int rb) {
+    return dist[static_cast<std::size_t>(
+        router_slot[static_cast<std::size_t>(ra)])]
+               [static_cast<std::size_t>(rb)];
+  };
+
+  // Terminals of each hosting router, and per-router candidate routers at
+  // exactly `distance` hops.
+  std::vector<std::vector<int>> slots_of(routers.size());
+  for (int i = 0; i < t; ++i) {
+    slots_of[static_cast<std::size_t>(
+                 router_slot[static_cast<std::size_t>(
+                     terminals[static_cast<std::size_t>(i)])])]
+        .push_back(i);
+  }
+  std::vector<std::vector<int>> at_dist(routers.size());
+  for (std::size_t a = 0; a < routers.size(); ++a) {
+    for (std::size_t b = 0; b < routers.size(); ++b) {
+      if (hops(routers[a], routers[b]) == distance) {
+        at_dist[a].push_back(static_cast<int>(b));
+      }
+    }
+  }
+
+  // Randomized greedy matching: each source terminal takes a free slot on
+  // a random candidate router; a few restarts keep the best matching.
+  // Leftovers pair among themselves arbitrarily (wrong distance).
+  std::vector<int> best_perm;
+  std::size_t best_matched = 0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<int> perm(static_cast<std::size_t>(t), -1);
+    std::vector<std::size_t> used(routers.size(), 0);  // slots consumed
+    std::vector<std::vector<int>> free_slots = slots_of;
+    for (auto& f : free_slots) util::shuffle(f, rng);
+    std::vector<int> order(static_cast<std::size_t>(t));
+    std::iota(order.begin(), order.end(), 0);
+    util::shuffle(order, rng);
+    std::size_t matched = 0;
+    for (const int src : order) {
+      const auto ra = static_cast<std::size_t>(
+          router_slot[static_cast<std::size_t>(
+              terminals[static_cast<std::size_t>(src)])]);
+      const auto& candidates = at_dist[ra];
+      if (candidates.empty()) continue;
+      int target_router = -1;
+      for (int tries = 0; tries < 8; ++tries) {
+        const int rb = candidates[static_cast<std::size_t>(
+            rng.below(candidates.size()))];
+        if (used[static_cast<std::size_t>(rb)] <
+            free_slots[static_cast<std::size_t>(rb)].size()) {
+          target_router = rb;
+          break;
+        }
+      }
+      if (target_router < 0) {
+        for (const int rb : candidates) {
+          if (used[static_cast<std::size_t>(rb)] <
+              free_slots[static_cast<std::size_t>(rb)].size()) {
+            target_router = rb;
+            break;
+          }
+        }
+      }
+      if (target_router < 0) continue;
+      auto& u = used[static_cast<std::size_t>(target_router)];
+      perm[static_cast<std::size_t>(src)] =
+          free_slots[static_cast<std::size_t>(target_router)][u++];
+      ++matched;
+    }
+    if (matched > best_matched || best_perm.empty()) {
+      best_matched = matched;
+      best_perm = std::move(perm);
+    }
+    if (matched == static_cast<std::size_t>(t)) break;
+  }
+
+  // Pair the unmatched leftovers among themselves (wrong distance, but
+  // keeps the map a permutation).
+  std::vector<std::uint8_t> taken(static_cast<std::size_t>(t), 0);
+  for (const int d : best_perm) {
+    if (d >= 0) taken[static_cast<std::size_t>(d)] = 1;
+  }
+  std::vector<int> free_targets;
+  for (int i = 0; i < t; ++i) {
+    if (!taken[static_cast<std::size_t>(i)]) free_targets.push_back(i);
+  }
+  std::size_t next_free = 0;
+  for (int i = 0; i < t; ++i) {
+    if (best_perm[static_cast<std::size_t>(i)] < 0) {
+      best_perm[static_cast<std::size_t>(i)] =
+          free_targets[next_free++];
+    }
+  }
+
+  return PermutationTraffic(std::move(terminals), std::move(best_perm),
+                            "Perm" + std::to_string(distance) + "Hop");
+}
+
+}  // namespace pf::sim

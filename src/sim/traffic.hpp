@@ -1,0 +1,101 @@
+// Traffic patterns over terminals (endpoints). A terminal is one
+// endpoint slot; terminal_routers maps terminal index -> hosting router.
+// Patterns pick a destination terminal per generated packet: uniform
+// random, or one of the fixed permutations the paper stresses (tornado,
+// random, bit complement, and the Perm1Hop/Perm2Hop distance
+// permutations of Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pf::sim {
+
+/// p endpoints on each of n routers.
+std::vector<int> uniform_endpoints(int num_routers, int p);
+
+/// Flattens endpoint counts into terminal -> router (router-major order).
+std::vector<int> terminal_routers(const std::vector<int>& endpoints);
+
+class TrafficPattern {
+ public:
+  explicit TrafficPattern(std::vector<int> terminals)
+      : terminals_(std::move(terminals)) {}
+  virtual ~TrafficPattern() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Destination terminal for a packet sourced at terminal src.
+  virtual int destination(int src, util::Rng& rng) const = 0;
+
+  int num_terminals() const { return static_cast<int>(terminals_.size()); }
+  int router_of(int terminal) const {
+    return terminals_[static_cast<std::size_t>(terminal)];
+  }
+  const std::vector<int>& terminals() const { return terminals_; }
+
+ protected:
+  std::vector<int> terminals_;  ///< terminal -> router
+};
+
+class UniformTraffic final : public TrafficPattern {
+ public:
+  explicit UniformTraffic(std::vector<int> terminals)
+      : TrafficPattern(std::move(terminals)) {}
+
+  std::string name() const override { return "uniform"; }
+
+  int destination(int src, util::Rng& rng) const override {
+    const int n = num_terminals();
+    int dst = src;
+    while (dst == src) {
+      dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    }
+    return dst;
+  }
+};
+
+class PermutationTraffic final : public TrafficPattern {
+ public:
+  /// Terminal i -> the same slot on the router halfway around the ring.
+  static PermutationTraffic tornado(std::vector<int> terminals);
+
+  /// A uniformly random derangement-ish permutation (no fixed points).
+  static PermutationTraffic random(std::vector<int> terminals,
+                                   std::uint64_t seed);
+
+  /// A permutation pairing terminals whose routers are exactly `distance`
+  /// hops apart (randomized greedy matching; falls back to closest
+  /// feasible pairs if a perfect matching isn't found).
+  static PermutationTraffic at_distance(const graph::Graph& g,
+                                        std::vector<int> terminals,
+                                        int distance, std::uint64_t seed);
+
+  /// Terminal i -> terminal T-1-i (bit complement for power-of-two T).
+  static PermutationTraffic bit_complement(std::vector<int> terminals);
+
+  std::string name() const override { return name_; }
+
+  int destination(int src, util::Rng& rng) const override {
+    (void)rng;
+    return permutation_[static_cast<std::size_t>(src)];
+  }
+
+  const std::vector<int>& permutation() const { return permutation_; }
+
+ private:
+  PermutationTraffic(std::vector<int> terminals, std::vector<int> permutation,
+                     std::string name)
+      : TrafficPattern(std::move(terminals)),
+        permutation_(std::move(permutation)),
+        name_(std::move(name)) {}
+
+  std::vector<int> permutation_;
+  std::string name_;
+};
+
+}  // namespace pf::sim

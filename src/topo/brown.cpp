@@ -1,0 +1,29 @@
+#include "topo/brown.hpp"
+
+#include <vector>
+
+#include "core/polarfly.hpp"
+
+namespace pf::topo {
+
+BrownIncidence::BrownIncidence(std::uint32_t q) : q_(q) {
+  // Reuse the ER_q machinery: point i is incident to line j (the polar
+  // line of point j) iff p_i . p_j = 0 — including i == j at the
+  // self-conjugate points, which ER_q drops as self-loops but B(q) keeps
+  // as real point-line incidences.
+  const core::PolarFly pf(q);
+  const int n = pf.num_vertices();
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (q + 1));
+  for (int i = 0; i < n; ++i) {
+    for (const std::int32_t j : pf.graph().neighbors(i)) {
+      edges.emplace_back(i, n + j);  // point i -- line j
+    }
+  }
+  for (const int w : pf.quadrics()) {
+    edges.emplace_back(w, n + w);  // the dropped self-loop: w on w-perp
+  }
+  graph_ = graph::Graph::from_edges(2 * n, std::move(edges));
+}
+
+}  // namespace pf::topo

@@ -1,0 +1,28 @@
+// The bipartite point-line incidence graph B(q) of PG(2, q) — Brown's
+// graph / Parhami's perfect-difference network. Same radix q + 1 as ER_q
+// but 2 (q^2 + q + 1) routers at diameter 3 and girth 6; PolarFly is its
+// polarity quotient (SS IV-E2), which halves the routers and drops the
+// diameter to 2.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace pf::topo {
+
+class BrownIncidence {
+ public:
+  explicit BrownIncidence(std::uint32_t q);
+
+  std::uint32_t q() const { return q_; }
+  int num_vertices() const { return graph_.num_vertices(); }
+  int radix() const { return static_cast<int>(q_) + 1; }
+  const graph::Graph& graph() const { return graph_; }
+
+ private:
+  std::uint32_t q_ = 0;
+  graph::Graph graph_;
+};
+
+}  // namespace pf::topo

@@ -1,0 +1,49 @@
+#include "topo/cost.hpp"
+
+#include <stdexcept>
+
+namespace pf::topo {
+
+std::vector<CostInput> paper_cost_inputs() {
+  std::vector<CostInput> inputs;
+  // Direct topologies: every router port is an optical port; each node
+  // adds one port at the node and one at its router (2 total). Saturation
+  // fractions follow the Fig. 8 simulations (uniform / permutation).
+  inputs.push_back({"PolarFly (q=31)", 993, 15888, 32, 2.0, 0.95, 0.50});
+  inputs.push_back({"Slim Fly (q=23)", 1058, 19044, 35, 2.0, 0.76, 0.41});
+  inputs.push_back({"Dragonfly (12,6,6)", 876, 5256, 17, 2.0, 0.60, 0.27});
+  // Fat tree: the 10-level switch complex of shoreline-limited radix-32
+  // switches joining two 16-link bundles contributes ~2 optical ports per
+  // node per level; nodes carry two OIOs. Near-ideal saturation.
+  inputs.push_back({"Fat tree (10-level)", 640, 1024, 32, 2.0, 0.99, 0.95});
+  return inputs;
+}
+
+std::vector<CostRow> evaluate_cost(const std::vector<CostInput>& inputs) {
+  if (inputs.empty()) return {};
+  std::vector<CostRow> rows;
+  rows.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    if (in.nodes <= 0 || in.sat_uniform <= 0 || in.sat_permutation <= 0) {
+      throw std::invalid_argument("cost model: nonpositive input");
+    }
+    CostRow row;
+    row.topology = in.topology;
+    row.ports_per_node = static_cast<double>(in.routers) *
+                             in.ports_per_router /
+                             static_cast<double>(in.nodes) +
+                         in.node_injection_ports;
+    row.cost_uniform = row.ports_per_node / in.sat_uniform;
+    row.cost_permutation = row.ports_per_node / in.sat_permutation;
+    rows.push_back(row);
+  }
+  const double base_uniform = rows.front().cost_uniform;
+  const double base_perm = rows.front().cost_permutation;
+  for (auto& row : rows) {
+    row.cost_uniform /= base_uniform;
+    row.cost_permutation /= base_perm;
+  }
+  return rows;
+}
+
+}  // namespace pf::topo

@@ -1,0 +1,40 @@
+// The analytic optical-IO cost model of SS X / Fig. 15: networks are
+// compared at iso injection bandwidth, so the cost of a topology is its
+// optical ports per node divided by the fraction of injection bandwidth
+// it can actually sustain (its saturation throughput), normalized to
+// PolarFly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pf::topo {
+
+struct CostInput {
+  std::string topology;
+  int routers = 0;
+  int nodes = 0;
+  int ports_per_router = 0;      ///< network-facing optical ports
+  double node_injection_ports = 0;  ///< node-side ports incl. router end
+  double sat_uniform = 1.0;      ///< saturation fraction, uniform traffic
+  double sat_permutation = 1.0;  ///< saturation fraction, permutations
+};
+
+struct CostRow {
+  std::string topology;
+  double ports_per_node = 0.0;
+  double cost_uniform = 0.0;      ///< normalized to the first input row
+  double cost_permutation = 0.0;
+};
+
+/// The Fig. 15 configuration set (~1,024-node scale): PolarFly q=31,
+/// Slim Fly q=23, balanced Dragonfly, and the 10-level fat-tree switch
+/// complex built from shoreline-limited radix-32 parts.
+std::vector<CostInput> paper_cost_inputs();
+
+/// ports/node = routers * ports_per_router / nodes + node_injection_ports;
+/// cost = (ports/node) / saturation, normalized to inputs[0].
+std::vector<CostRow> evaluate_cost(const std::vector<CostInput>& inputs);
+
+}  // namespace pf::topo

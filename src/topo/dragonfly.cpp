@@ -1,0 +1,41 @@
+#include "topo/dragonfly.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace pf::topo {
+
+Dragonfly::Dragonfly(int a, int h, int p) : a_(a), h_(h), p_(p) {
+  if (a < 1 || h < 1 || p < 0) {
+    throw std::invalid_argument("Dragonfly needs a >= 1, h >= 1, p >= 0");
+  }
+  const int g = groups();
+  std::vector<graph::Edge> edges;
+
+  // Intra-group complete graphs.
+  for (int group = 0; group < g; ++group) {
+    for (int i = 0; i < a; ++i) {
+      for (int j = i + 1; j < a; ++j) {
+        edges.emplace_back(router_id(group, i), router_id(group, j));
+      }
+    }
+  }
+
+  // Global links: group gi's l-th global port (l = member * h + port)
+  // reaches the l-th other group in circular order; the consecutive
+  // assignment used in the original paper.
+  for (int gi = 0; gi < g; ++gi) {
+    for (int l = 0; l < a * h; ++l) {
+      const int gj = (gi + 1 + l) % g;
+      if (gj < gi) continue;  // counted from the smaller group id
+      // The peer group sees gi on its own port index l' with
+      // gi = (gj + 1 + l') mod g.
+      const int back = (gi - gj - 1 + g) % g;
+      edges.emplace_back(router_id(gi, l / h), router_id(gj, back / h));
+    }
+  }
+
+  graph_ = graph::Graph::from_edges(g * a, std::move(edges));
+}
+
+}  // namespace pf::topo

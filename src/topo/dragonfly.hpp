@@ -1,0 +1,39 @@
+// Canonical Dragonfly (Kim et al.): g = a h + 1 groups of a routers;
+// complete graph inside each group, one global link between every pair of
+// groups. Router radix = (a - 1) + h + p.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace pf::topo {
+
+class Dragonfly {
+ public:
+  /// a routers per group, h global links per router, p endpoints per
+  /// router (p only affects radix bookkeeping, not the router graph).
+  Dragonfly(int a, int h, int p);
+
+  /// The balanced configuration a = 2h, p = h.
+  static Dragonfly balanced(int h) { return Dragonfly(2 * h, h, h); }
+
+  int a() const { return a_; }
+  int h() const { return h_; }
+  int p() const { return p_; }
+  int groups() const { return a_ * h_ + 1; }
+  int num_vertices() const { return graph_.num_vertices(); }
+  int radix() const { return a_ - 1 + h_ + p_; }
+  const graph::Graph& graph() const { return graph_; }
+
+  int router_id(int group, int member) const { return group * a_ + member; }
+  int group_of(int router) const { return router / a_; }
+
+ private:
+  int a_ = 0;
+  int h_ = 0;
+  int p_ = 0;
+  graph::Graph graph_;
+};
+
+}  // namespace pf::topo

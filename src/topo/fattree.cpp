@@ -1,0 +1,42 @@
+#include "topo/fattree.hpp"
+
+#include <stdexcept>
+
+namespace pf::topo {
+
+FatTree::FatTree(int levels, int arity) : levels_(levels), arity_(arity) {
+  if (levels < 2 || arity < 2) {
+    throw std::invalid_argument("FatTree needs levels >= 2, arity >= 2");
+  }
+  per_level_ = 1;
+  for (int l = 0; l + 2 <= levels; ++l) per_level_ *= arity;
+
+  std::vector<graph::Edge> edges;
+  // (l, w) ~ (l+1, w') where w' varies digit l of w.
+  int stride = 1;
+  for (int l = 0; l + 1 < levels; ++l) {
+    for (int w = 0; w < per_level_; ++w) {
+      const int base = w - (w / stride % arity) * stride;
+      for (int d = 0; d < arity; ++d) {
+        edges.emplace_back(switch_id(l, w), switch_id(l + 1, base + d * stride));
+      }
+    }
+    stride *= arity;
+  }
+  graph_ = graph::Graph::from_edges(levels * per_level_, std::move(edges));
+}
+
+int FatTree::digit(int index, int position) const {
+  for (int i = 0; i < position; ++i) index /= arity_;
+  return index % arity_;
+}
+
+int FatTree::nca_level(int leaf_a, int leaf_b) const {
+  int level = levels_ - 1;
+  while (level > 0 && digit(leaf_a, level - 1) == digit(leaf_b, level - 1)) {
+    --level;
+  }
+  return level;
+}
+
+}  // namespace pf::topo

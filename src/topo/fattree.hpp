@@ -1,0 +1,47 @@
+// k-ary n-tree fat tree: `levels` switch levels of arity^(levels-1)
+// switches each. A switch is (level l, index w); w's base-`arity` digits
+// name the tree path. (l, w) connects up to (l+1, w') for the `arity`
+// indices w' that differ from w only in digit l. Leaf switches (level 0)
+// host `arity` endpoints; every switch has radix 2 * arity (top level
+// uses only its down ports). Endpoint-minimal routing goes up to the
+// nearest common ancestor level and deterministically back down (NCA).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pf::topo {
+
+class FatTree {
+ public:
+  FatTree(int levels, int arity);
+
+  int levels() const { return levels_; }
+  int arity() const { return arity_; }
+  int switches_per_level() const { return per_level_; }
+  int num_vertices() const { return graph_.num_vertices(); }
+  int radix() const { return 2 * arity_; }
+  const graph::Graph& graph() const { return graph_; }
+
+  int switch_id(int level, int index) const {
+    return level * per_level_ + index;
+  }
+  int level_of(int sw) const { return sw / per_level_; }
+  int index_of(int sw) const { return sw % per_level_; }
+
+  /// Base-arity digit `digit` of a switch index.
+  int digit(int index, int position) const;
+
+  /// The smallest level l such that leaf indices a and b agree on digits
+  /// l .. levels-2 (0 when a == b). Up-down routes climb exactly to l.
+  int nca_level(int leaf_a, int leaf_b) const;
+
+ private:
+  int levels_ = 0;
+  int arity_ = 0;
+  int per_level_ = 0;
+  graph::Graph graph_;
+};
+
+}  // namespace pf::topo

@@ -1,0 +1,41 @@
+#include "topo/hyperx.hpp"
+
+#include <stdexcept>
+
+#include "core/feasibility.hpp"
+
+namespace pf::topo {
+
+HyperX::HyperX(int a, int b) : a_(a), b_(b) {
+  if (a < 2 || b < 2) throw std::invalid_argument("HyperX needs a, b >= 2");
+  std::vector<graph::Edge> edges;
+  auto id = [b](const int i, const int j) { return i * b + j; };
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) {
+      for (int j2 = j + 1; j2 < b; ++j2) {
+        edges.emplace_back(id(i, j), id(i, j2));  // row clique
+      }
+      for (int i2 = i + 1; i2 < a; ++i2) {
+        edges.emplace_back(id(i, j), id(i2, j));  // column clique
+      }
+    }
+  }
+  graph_ = graph::Graph::from_edges(a * b, std::move(edges));
+}
+
+std::vector<HyperXConfig> hyperx_configs(std::uint32_t max_radix) {
+  std::vector<HyperXConfig> configs;
+  for (int a = 2; 2 * (a - 1) <= static_cast<int>(max_radix); ++a) {
+    HyperXConfig config;
+    config.a = a;
+    config.radix = 2 * (a - 1);
+    config.nodes = static_cast<std::int64_t>(a) * a;
+    config.moore_efficiency =
+        static_cast<double>(config.nodes) /
+        static_cast<double>(core::moore_bound(config.radix));
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+}  // namespace pf::topo

@@ -1,0 +1,37 @@
+// 2D HyperX: the Cartesian product K_a x K_b — routers on an a x b grid,
+// fully connected along each row and column. Diameter 2 at radix
+// (a-1) + (b-1); its ~25% Moore efficiency is the Fig. 2 comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pf::topo {
+
+class HyperX {
+ public:
+  HyperX(int a, int b);
+
+  int num_vertices() const { return graph_.num_vertices(); }
+  int radix() const { return a_ - 1 + b_ - 1; }
+  const graph::Graph& graph() const { return graph_; }
+
+ private:
+  int a_ = 0;
+  int b_ = 0;
+  graph::Graph graph_;
+};
+
+struct HyperXConfig {
+  int a = 0;
+  int radix = 0;
+  std::int64_t nodes = 0;
+  double moore_efficiency = 0.0;
+};
+
+/// Square K_a x K_a configurations with radix <= max_radix.
+std::vector<HyperXConfig> hyperx_configs(std::uint32_t max_radix);
+
+}  // namespace pf::topo

@@ -1,0 +1,81 @@
+#include "topo/jellyfish.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algos.hpp"
+#include "util/rng.hpp"
+
+namespace pf::topo {
+
+Jellyfish::Jellyfish(int n, int k, std::uint64_t seed) : k_(k) {
+  if (n < 2 || k < 1 || k >= n || (static_cast<std::int64_t>(n) * k) % 2 != 0) {
+    throw std::invalid_argument(
+        "Jellyfish needs 2 <= k+1 <= n and n*k even");
+  }
+  util::Rng rng(seed);
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    // Configuration model: shuffle nk stubs, pair consecutively.
+    std::vector<std::int32_t> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * k);
+    for (int v = 0; v < n; ++v) {
+      for (int i = 0; i < k; ++i) stubs.push_back(v);
+    }
+    util::shuffle(stubs, rng);
+
+    std::set<graph::Edge> edge_set;
+    std::vector<graph::Edge> bad;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      std::int32_t u = stubs[i];
+      std::int32_t v = stubs[i + 1];
+      if (u > v) std::swap(u, v);
+      if (u == v || edge_set.count({u, v}) > 0) {
+        bad.emplace_back(u, v);
+      } else {
+        edge_set.insert({u, v});
+      }
+    }
+
+    // Repair self-loops / duplicates by 2-opt swaps with random edges.
+    std::vector<graph::Edge> edges(edge_set.begin(), edge_set.end());
+    bool repaired = true;
+    for (const auto& [bu, bv] : bad) {
+      bool fixed = false;
+      for (int tries = 0; tries < 4 * n && !fixed; ++tries) {
+        const std::size_t pick = rng.below(edges.size());
+        const auto [cu, cv] = edges[pick];
+        // Rewire (bu, bv) + (cu, cv) -> (bu, cu) + (bv, cv).
+        graph::Edge e1{std::min(bu, cu), std::max(bu, cu)};
+        graph::Edge e2{std::min(bv, cv), std::max(bv, cv)};
+        if (e1.first == e1.second || e2.first == e2.second) continue;
+        if (edge_set.count(e1) > 0 || edge_set.count(e2) > 0 || e1 == e2) {
+          continue;
+        }
+        edge_set.erase({cu, cv});
+        edges[pick] = e1;
+        edge_set.insert(e1);
+        edge_set.insert(e2);
+        edges.push_back(e2);
+        fixed = true;
+      }
+      if (!fixed) {
+        repaired = false;
+        break;
+      }
+    }
+    if (!repaired) continue;
+
+    graph::Graph candidate = graph::Graph::from_edges(
+        n, std::vector<graph::Edge>(edge_set.begin(), edge_set.end()));
+    if (graph::is_connected(candidate)) {
+      graph_ = std::move(candidate);
+      return;
+    }
+  }
+  throw std::runtime_error("Jellyfish: failed to build a connected graph");
+}
+
+}  // namespace pf::topo

@@ -1,0 +1,26 @@
+// Jellyfish: a uniformly random k-regular graph on n switches (Singla et
+// al.), the "just wire it randomly" baseline. Built by the configuration
+// model with edge-swap repair so the result is simple, k-regular and
+// connected (n k must be even).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace pf::topo {
+
+class Jellyfish {
+ public:
+  Jellyfish(int n, int k, std::uint64_t seed);
+
+  int num_vertices() const { return graph_.num_vertices(); }
+  int radix() const { return k_; }
+  const graph::Graph& graph() const { return graph_; }
+
+ private:
+  int k_ = 0;
+  graph::Graph graph_;
+};
+
+}  // namespace pf::topo

@@ -1,0 +1,40 @@
+#include "topo/moore_graphs.hpp"
+
+#include <vector>
+
+namespace pf::topo {
+
+graph::Graph petersen_graph() {
+  // Outer pentagon 0-4, inner pentagram 5-9, spokes between them.
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 5; ++i) {
+    edges.emplace_back(i, (i + 1) % 5);
+    edges.emplace_back(5 + i, 5 + (i + 2) % 5);
+    edges.emplace_back(i, 5 + i);
+  }
+  return graph::Graph::from_edges(10, std::move(edges));
+}
+
+graph::Graph hoffman_singleton_graph() {
+  // Five pentagons P_h and five pentagrams Q_i (h, i in 0..4).
+  // P_h vertex j: id 5h + j. Q_i vertex j: id 25 + 5i + j.
+  auto p = [](const int h, const int j) { return 5 * h + j; };
+  auto q = [](const int i, const int j) { return 25 + 5 * i + j; };
+  std::vector<graph::Edge> edges;
+  for (int h = 0; h < 5; ++h) {
+    for (int j = 0; j < 5; ++j) {
+      edges.emplace_back(p(h, j), p(h, (j + 1) % 5));  // pentagon
+      edges.emplace_back(q(h, j), q(h, (j + 2) % 5));  // pentagram
+    }
+  }
+  for (int h = 0; h < 5; ++h) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = 0; j < 5; ++j) {
+        edges.emplace_back(p(h, j), q(i, (h * i + j) % 5));
+      }
+    }
+  }
+  return graph::Graph::from_edges(50, std::move(edges));
+}
+
+}  // namespace pf::topo

@@ -1,0 +1,15 @@
+// The two nontrivial known diameter-2 Moore graphs — Petersen (k=3,
+// N=10) and Hoffman–Singleton (k=7, N=50) — the 100% points of Fig. 2.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace pf::topo {
+
+graph::Graph petersen_graph();
+
+/// Robertson's pentagon/pentagram construction: P_h,j ~ Q_i,k iff
+/// k = h i + j (mod 5).
+graph::Graph hoffman_singleton_graph();
+
+}  // namespace pf::topo

@@ -1,0 +1,160 @@
+#include "topo/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "topo/brown.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/hyperx.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/moore_graphs.hpp"
+#include "topo/slimfly.hpp"
+#include "topo/torus.hpp"
+
+namespace pf::topo {
+namespace {
+
+std::int64_t need(const TopologyParams& params, const std::string& key,
+                  const std::string& family) {
+  const auto it = params.find(key);
+  if (it == params.end()) {
+    throw std::invalid_argument("topology " + family +
+                                " needs parameter --" + key);
+  }
+  return it->second;
+}
+
+std::int64_t get_or(const TopologyParams& params, const std::string& key,
+                    std::int64_t fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int TopologyInstance::default_concentration() const {
+  if (fattree) return fattree->arity();
+  return std::max(1, (radix + 1) / 2);
+}
+
+std::vector<int> TopologyInstance::endpoints(int p) const {
+  std::vector<int> counts(static_cast<std::size_t>(graph.num_vertices()), 0);
+  if (fattree) {
+    for (int leaf = 0; leaf < fattree->switches_per_level(); ++leaf) {
+      counts[static_cast<std::size_t>(fattree->switch_id(0, leaf))] = p;
+    }
+  } else {
+    counts.assign(counts.size(), p);
+  }
+  return counts;
+}
+
+TopologyInstance make_topology(const std::string& family,
+                               const TopologyParams& params) {
+  TopologyInstance inst;
+  inst.family = family;
+
+  if (family == "polarfly" || family == "pf") {
+    const auto q = static_cast<std::uint32_t>(need(params, "q", family));
+    auto pf = std::make_shared<core::PolarFly>(q);
+    inst.family = "polarfly";
+    inst.label = "PolarFly ER_" + std::to_string(q);
+    inst.graph = pf->graph();
+    inst.radix = pf->radix();
+    inst.polarfly = std::move(pf);
+  } else if (family == "slimfly" || family == "sf") {
+    const auto q = static_cast<std::uint32_t>(need(params, "q", family));
+    const SlimFly sf(q);
+    inst.family = "slimfly";
+    inst.label = "SlimFly MMS(" + std::to_string(q) + ")";
+    inst.graph = sf.graph();
+    inst.radix = sf.radix();
+  } else if (family == "dragonfly" || family == "df") {
+    const int a = static_cast<int>(need(params, "a", family));
+    const int h = static_cast<int>(need(params, "h", family));
+    const int p = static_cast<int>(get_or(params, "p", (h + 1) / 2 + 1));
+    const Dragonfly df(a, h, p);
+    inst.family = "dragonfly";
+    inst.label = "Dragonfly(" + std::to_string(a) + "," + std::to_string(h) +
+                 "," + std::to_string(p) + ")";
+    inst.graph = df.graph();
+    inst.radix = df.radix();
+  } else if (family == "fattree" || family == "ft") {
+    const int levels = static_cast<int>(get_or(params, "levels", 3));
+    const int arity = static_cast<int>(need(params, "arity", family));
+    auto ft = std::make_shared<FatTree>(levels, arity);
+    inst.family = "fattree";
+    inst.label = std::to_string(levels) + "-level fat tree (k=" +
+                 std::to_string(arity) + ")";
+    inst.graph = ft->graph();
+    inst.radix = ft->radix();
+    inst.fattree = std::move(ft);
+  } else if (family == "jellyfish" || family == "jf") {
+    const int n = static_cast<int>(need(params, "n", family));
+    const int k = static_cast<int>(need(params, "k", family));
+    const auto seed =
+        static_cast<std::uint64_t>(get_or(params, "seed", 0xf15eULL));
+    const Jellyfish jf(n, k, seed);
+    inst.family = "jellyfish";
+    inst.label = "Jellyfish(" + std::to_string(n) + "," + std::to_string(k) +
+                 ")";
+    inst.graph = jf.graph();
+    inst.radix = jf.radix();
+  } else if (family == "hyperx") {
+    const int a = static_cast<int>(need(params, "a", family));
+    const int b = static_cast<int>(get_or(params, "b", a));
+    const HyperX hx(a, b);
+    inst.label = "HyperX K" + std::to_string(a) + "xK" + std::to_string(b);
+    inst.graph = hx.graph();
+    inst.radix = hx.radix();
+  } else if (family == "torus") {
+    const int k = static_cast<int>(need(params, "k", family));
+    const int d = static_cast<int>(need(params, "d", family));
+    const Torus torus(k, d);
+    inst.label = std::to_string(k) + "-ary " + std::to_string(d) + "-torus";
+    inst.graph = torus.graph();
+    inst.radix = torus.radix();
+  } else if (family == "hypercube") {
+    const int d = static_cast<int>(need(params, "d", family));
+    const Hypercube cube(d);
+    inst.label = std::to_string(d) + "-cube";
+    inst.graph = cube.graph();
+    inst.radix = cube.radix();
+  } else if (family == "brown") {
+    const auto q = static_cast<std::uint32_t>(need(params, "q", family));
+    const BrownIncidence brown(q);
+    inst.label = "Brown incidence B(" + std::to_string(q) + ")";
+    inst.graph = brown.graph();
+    inst.radix = brown.radix();
+  } else if (family == "petersen") {
+    inst.label = "Petersen";
+    inst.graph = petersen_graph();
+    inst.radix = 3;
+  } else if (family == "hoffman-singleton" || family == "hs") {
+    inst.family = "hoffman-singleton";
+    inst.label = "Hoffman-Singleton";
+    inst.graph = hoffman_singleton_graph();
+    inst.radix = 7;
+  } else {
+    throw std::invalid_argument("unknown topology family '" + family +
+                                "' (see `pf_topo families`)");
+  }
+  return inst;
+}
+
+std::string topology_usage() {
+  return
+      "  polarfly --q Q            ER_q, N=q^2+q+1, radix q+1, diameter 2\n"
+      "  slimfly --q Q             MMS graph, N=2q^2, radix (3q-delta)/2\n"
+      "  dragonfly --a A --h H [--p P]   a(ah+1) routers, 1 global link/pair\n"
+      "  fattree --arity K [--levels L]  k-ary n-tree, L*K^(L-1) switches\n"
+      "  jellyfish --n N --k K [--seed S]  random K-regular on N switches\n"
+      "  hyperx --a A [--b B]      K_a x K_b, diameter 2\n"
+      "  torus --k K --d D         k-ary d-cube\n"
+      "  hypercube --d D           binary d-cube\n"
+      "  brown --q Q               PG(2,q) incidence graph, N=2(q^2+q+1)\n"
+      "  petersen                  Moore graph, k=3, N=10\n"
+      "  hoffman-singleton         Moore graph, k=7, N=50\n";
+}
+
+}  // namespace pf::topo

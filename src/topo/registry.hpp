@@ -1,0 +1,53 @@
+// The topology family registry: one string-keyed constructor for every
+// supported family, returning a uniform TopologyInstance that the apps
+// and the simulator consume. Families keep their structured handles
+// (PolarFly for algebraic routing, FatTree for NCA) alongside the graph.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/polarfly.hpp"
+#include "graph/graph.hpp"
+#include "topo/fattree.hpp"
+
+namespace pf::topo {
+
+using TopologyParams = std::map<std::string, std::int64_t>;
+
+struct TopologyInstance {
+  std::string label;   ///< human-readable, e.g. "PolarFly ER_13"
+  std::string family;  ///< registry key, e.g. "polarfly"
+  graph::Graph graph;
+  int radix = 0;
+
+  /// Set for family polarfly: enables algebraic routing and class info.
+  std::shared_ptr<const core::PolarFly> polarfly;
+  /// Set for family fattree: enables NCA routing and leaf placement.
+  std::shared_ptr<const FatTree> fattree;
+
+  /// Default endpoints per router: half the radix (fat tree: arity per
+  /// leaf), the balanced 1:2 concentration used throughout the paper.
+  int default_concentration() const;
+
+  /// Endpoint counts per router: p on every router, except fat trees
+  /// where only level-0 leaf switches host p endpoints each.
+  std::vector<int> endpoints(int p) const;
+};
+
+/// Constructs a topology by family name. Throws std::invalid_argument on
+/// unknown families, missing parameters, or infeasible sizes.
+///
+/// Families (parameters): polarfly|pf (q), slimfly|sf (q), dragonfly
+/// (a, h, p), fattree (levels, arity), jellyfish (n, k [, seed]), hyperx
+/// (a [, b]), torus (k, d), hypercube (d), brown (q), petersen,
+/// hoffman-singleton.
+TopologyInstance make_topology(const std::string& family,
+                               const TopologyParams& params);
+
+/// One line per family: name, parameters, description.
+std::string topology_usage();
+
+}  // namespace pf::topo

@@ -1,0 +1,106 @@
+#include "topo/slimfly.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/feasibility.hpp"
+#include "galois/field.hpp"
+
+namespace pf::topo {
+namespace {
+
+/// The MMS generator set X as exponent ranges of a primitive element:
+/// q = 4w+1: even powers (the quadratic residues; symmetric since -1 is a
+/// residue). q = 4w-1 and q = 4w: even powers up to 2w-2 then odd powers
+/// 2w-1 .. 4w-3 (Hafner's sets; symmetric by construction).
+std::vector<std::uint32_t> generator_set(const gf::Field& field, int delta) {
+  std::vector<std::uint32_t> x;
+  const std::uint32_t q = field.order();
+  if (delta == 1) {
+    for (std::uint32_t e = 0; e + 2 <= q - 1; e += 2) x.push_back(field.exp(e));
+  } else {
+    const std::uint32_t w = (q + 1) / 4;  // q = 4w for both delta 0 and -1
+    // even exponents 0 .. 2w-2
+    for (std::uint32_t e = 0; e + 2 <= 2 * w; e += 2) x.push_back(field.exp(e));
+    // odd exponents 2w-1 .. 4w-3
+    for (std::uint32_t e = 2 * w - 1; e + 3 <= 4 * w; e += 2) {
+      x.push_back(field.exp(e));
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+SlimFly::SlimFly(std::uint32_t q) : q_(q) {
+  int delta;
+  if (q % 4 == 1) {
+    delta = 1;
+  } else if (q % 4 == 3) {
+    delta = -1;
+  } else if (q % 4 == 0) {
+    delta = 0;
+  } else {
+    throw std::invalid_argument("SlimFly: q mod 4 must be 0, 1 or 3, got " +
+                                std::to_string(q));
+  }
+  const gf::Field field(q);  // validates prime power
+  radix_ = (3 * static_cast<int>(q) - delta) / 2;
+
+  const std::vector<std::uint32_t> xset = generator_set(field, delta);
+  const std::vector<std::uint32_t> xset_prime = [&] {
+    std::vector<std::uint32_t> xp;
+    const std::uint32_t xi = field.generator();
+    xp.reserve(xset.size());
+    for (const std::uint32_t v : xset) xp.push_back(field.mul(xi, v));
+    return xp;
+  }();
+
+  std::vector<graph::Edge> edges;
+  // Intra-subgraph Cayley edges.
+  for (int subgraph = 0; subgraph < 2; ++subgraph) {
+    const auto& gens = subgraph == 0 ? xset : xset_prime;
+    for (std::uint32_t x = 0; x < q; ++x) {
+      for (std::uint32_t y = 0; y < q; ++y) {
+        for (const std::uint32_t d : gens) {
+          const std::uint32_t y2 = field.add(y, d);
+          const int a = router_id(subgraph, x, y);
+          const int b = router_id(subgraph, x, y2);
+          if (a < b) edges.emplace_back(a, b);
+        }
+      }
+    }
+  }
+  // Bipartite edges: y = m x + c.
+  for (std::uint32_t m = 0; m < q; ++m) {
+    for (std::uint32_t c = 0; c < q; ++c) {
+      for (std::uint32_t x = 0; x < q; ++x) {
+        const std::uint32_t y = field.add(field.mul(m, x), c);
+        edges.emplace_back(router_id(0, x, y), router_id(1, m, c));
+      }
+    }
+  }
+  graph_ = graph::Graph::from_edges(static_cast<int>(2 * q * q),
+                                    std::move(edges));
+}
+
+std::vector<SlimFlyConfig> slimfly_configs(std::uint32_t max_radix) {
+  std::vector<SlimFlyConfig> configs;
+  for (std::uint32_t q = 3; 3 * q <= 2 * max_radix + 2; ++q) {
+    if (!gf::is_prime_power(q) || q % 4 == 2) continue;
+    const int delta = q % 4 == 1 ? 1 : (q % 4 == 3 ? -1 : 0);
+    const int radix = (3 * static_cast<int>(q) - delta) / 2;
+    if (radix > static_cast<int>(max_radix)) continue;
+    SlimFlyConfig config;
+    config.q = q;
+    config.radix = radix;
+    config.nodes = 2 * static_cast<std::int64_t>(q) * q;
+    config.moore_efficiency =
+        static_cast<double>(config.nodes) /
+        static_cast<double>(core::moore_bound(radix));
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+}  // namespace pf::topo

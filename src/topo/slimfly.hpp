@@ -1,0 +1,52 @@
+// Slim Fly: the McKay–Miller–Širáň (MMS) diameter-2 graphs of Besta &
+// Hoefler's "Slim Fly: A Cost Effective Low-Diameter Network Topology".
+// For a prime power q = 4w + delta (delta in {-1, 0, 1}) the graph has
+// 2 q^2 routers of radix (3q - delta)/2: two classes of q^2 routers
+// (0, x, y) and (1, m, c) over GF(q)^2 with
+//   (0, x, y) ~ (0, x, y')  iff  y - y' in X
+//   (1, m, c) ~ (1, m, c')  iff  c - c' in X'
+//   (0, x, y) ~ (1, m, c)   iff  y = m x + c,
+// where X is the MMS generator set (the quadratic residues when
+// q = 1 mod 4) and X' = xi X for a primitive xi.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pf::topo {
+
+class SlimFly {
+ public:
+  /// q must be a prime power with q mod 4 in {0, 1, 3}.
+  explicit SlimFly(std::uint32_t q);
+
+  std::uint32_t q() const { return q_; }
+  int num_vertices() const { return graph_.num_vertices(); }
+  int radix() const { return radix_; }
+  const graph::Graph& graph() const { return graph_; }
+
+  /// Router ids: subgraph * q^2 + x * q + y.
+  int router_id(int subgraph, std::uint32_t x, std::uint32_t y) const {
+    return static_cast<int>(
+        static_cast<std::uint32_t>(subgraph) * q_ * q_ + x * q_ + y);
+  }
+
+ private:
+  std::uint32_t q_ = 0;
+  int radix_ = 0;
+  graph::Graph graph_;
+};
+
+struct SlimFlyConfig {
+  std::uint32_t q = 0;
+  int radix = 0;
+  std::int64_t nodes = 0;
+  double moore_efficiency = 0.0;
+};
+
+/// Feasible Slim Fly configurations with radix <= max_radix.
+std::vector<SlimFlyConfig> slimfly_configs(std::uint32_t max_radix);
+
+}  // namespace pf::topo

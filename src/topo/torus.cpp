@@ -1,0 +1,44 @@
+#include "topo/torus.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace pf::topo {
+
+Torus::Torus(int k, int dims) {
+  if (k < 2 || dims < 1) throw std::invalid_argument("Torus needs k, dims >= 2, 1");
+  std::int64_t n64 = 1;
+  for (int d = 0; d < dims; ++d) {
+    n64 *= k;
+    if (n64 > (1 << 24)) throw std::invalid_argument("Torus too large");
+  }
+  const int n = static_cast<int>(n64);
+  std::vector<graph::Edge> edges;
+  int stride = 1;
+  for (int d = 0; d < dims; ++d) {
+    for (int v = 0; v < n; ++v) {
+      const int coord = v / stride % k;
+      const int up = v + ((coord + 1) % k - coord) * stride;
+      edges.emplace_back(v, up);  // ring successor in dimension d
+    }
+    stride *= k;
+  }
+  graph_ = graph::Graph::from_edges(n, std::move(edges));
+}
+
+Hypercube::Hypercube(int dims) {
+  if (dims < 1 || dims > 24) {
+    throw std::invalid_argument("Hypercube needs 1 <= dims <= 24");
+  }
+  const int n = 1 << dims;
+  std::vector<graph::Edge> edges;
+  for (int v = 0; v < n; ++v) {
+    for (int d = 0; d < dims; ++d) {
+      const int u = v ^ (1 << d);
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  graph_ = graph::Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace pf::topo

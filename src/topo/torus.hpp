@@ -1,0 +1,36 @@
+// Classic direct topologies the paper's evaluation rules out early:
+// k-ary d-cube tori and binary hypercubes (SS VIII-A).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace pf::topo {
+
+class Torus {
+ public:
+  /// k-ary d-cube: k^dims routers, each a ring neighbor in every
+  /// dimension (k > 2 gives radix 2 * dims; k = 2 degenerates to a
+  /// hypercube edge per dimension).
+  Torus(int k, int dims);
+
+  int num_vertices() const { return graph_.num_vertices(); }
+  int radix() const { return graph_.max_degree(); }
+  const graph::Graph& graph() const { return graph_; }
+
+ private:
+  graph::Graph graph_;
+};
+
+class Hypercube {
+ public:
+  explicit Hypercube(int dims);
+
+  int num_vertices() const { return graph_.num_vertices(); }
+  int radix() const { return graph_.max_degree(); }
+  const graph::Graph& graph() const { return graph_; }
+
+ private:
+  graph::Graph graph_;
+};
+
+}  // namespace pf::topo

@@ -1,0 +1,139 @@
+// Minimal command-line parsing for the pf_* apps: one optional leading
+// subcommand followed by --key value / --key flags. Typed accessors throw
+// CliError with a user-facing message; queried keys are tracked so the
+// apps can warn about options that were ignored.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pf::util {
+
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CliArgs {
+ public:
+  static CliArgs parse(int argc, char** argv) {
+    CliArgs args;
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') {
+      args.command_ = argv[i];
+      ++i;
+    }
+    for (; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+        throw CliError("unexpected argument '" + token +
+                       "' (options are --key [value])");
+      }
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+        args.values_[key] = argv[++i];
+      } else {
+        args.values_[key] = "";  // boolean flag
+      }
+    }
+    return args;
+  }
+
+  const std::string& command() const { return command_; }
+
+  bool has(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return false;
+    used_.insert(key);
+    return true;
+  }
+
+  std::string str(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      throw CliError("missing required option --" + key);
+    }
+    used_.insert(key);
+    return it->second;
+  }
+
+  std::string str_or(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    used_.insert(key);
+    return it->second;
+  }
+
+  std::int64_t integer(const std::string& key) const {
+    return to_integer(key, str(key));
+  }
+
+  std::int64_t integer_or(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    used_.insert(key);
+    return to_integer(key, it->second);
+  }
+
+  double real(const std::string& key) const { return to_real(key, str(key)); }
+
+  double real_or(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    used_.insert(key);
+    return to_real(key, it->second);
+  }
+
+  /// Keys that were provided but never queried — typos, usually.
+  std::vector<std::string> unused_keys() const {
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : values_) {
+      if (used_.count(key) == 0) keys.push_back(key);
+    }
+    return keys;
+  }
+
+ private:
+  static bool looks_like_flag(const std::string& token) {
+    if (token.rfind("--", 0) != 0) return false;
+    // "--2" is a (negative-free) value, "--foo" is a flag.
+    return token.size() > 2 && !std::isdigit(static_cast<unsigned char>(token[2]));
+  }
+
+  static std::int64_t to_integer(const std::string& key, const std::string& s) {
+    try {
+      std::size_t pos = 0;
+      const std::int64_t value = std::stoll(s, &pos);
+      if (pos != s.size()) throw std::invalid_argument(s);
+      return value;
+    } catch (const std::exception&) {
+      throw CliError("option --" + key + " expects an integer, got '" + s + "'");
+    }
+  }
+
+  static double to_real(const std::string& key, const std::string& s) {
+    try {
+      std::size_t pos = 0;
+      const double value = std::stod(s, &pos);
+      if (pos != s.size()) throw std::invalid_argument(s);
+      return value;
+    } catch (const std::exception&) {
+      throw CliError("option --" + key + " expects a number, got '" + s + "'");
+    }
+  }
+
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+/// Parses "lo:hi:count" into `count` evenly spaced values, endpoints
+/// included (count 1 yields just lo).
+std::vector<double> parse_range(const std::string& spec);
+
+}  // namespace pf::util

@@ -1,0 +1,122 @@
+// A small thread pool plus a blocking parallel_for on top of it. Used for
+// embarrassingly parallel sweeps (all-pairs BFS, load sweeps, resilience
+// runs). Work is handed out in contiguous chunks to keep cache behavior
+// sane; with one hardware thread everything degrades to a serial loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pf::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency()) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// The process-wide pool, created on first use.
+  static ThreadPool& shared() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  /// True when the calling thread is one of the pool's workers.
+  static bool on_worker_thread() { return on_worker_; }
+
+ private:
+  static thread_local bool on_worker_;
+
+  void worker_loop() {
+    on_worker_ = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+inline thread_local bool ThreadPool::on_worker_ = false;
+
+/// Runs fn(i) for i in [begin, end), partitioned across the shared pool.
+/// Blocks until every index is done. fn must be safe to call concurrently.
+/// Nested calls from inside a worker run inline to avoid self-deadlock.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (ThreadPool::on_worker_thread()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t chunks =
+      std::min(count, std::max<std::size_t>(1, pool.num_threads() * 4));
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = chunks;
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    pool.submit([lo, hi, &fn, &done_mutex, &done_cv, &pending] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--pending == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&pending] { return pending == 0; });
+}
+
+}  // namespace pf::util

@@ -1,0 +1,59 @@
+// Aligned plain-text tables and section banners — the output format of
+// every app and bench binary. Cells are stringified on insertion (ints
+// verbatim, doubles with %g so 2 prints as "2" and 0.5861 as "0.5861");
+// the same rows can be re-emitted as CSV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pf::util {
+
+/// Prints "=== title ===" with a blank line above.
+void print_banner(const std::string& title);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> cols;
+    cols.reserve(sizeof...(cells));
+    (cols.push_back(to_cell(cells)), ...);
+    rows_.push_back(std::move(cols));
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Writes the table to stdout with aligned columns.
+  void print() const;
+
+  /// Writes headers + rows as CSV. Returns false if the file can't be
+  /// opened.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  static std::string to_cell(const std::string& value) { return value; }
+  static std::string to_cell(const char* value) { return value; }
+  static std::string to_cell(bool value) { return value ? "yes" : "no"; }
+  static std::string to_cell(double value);
+  static std::string to_cell(float value) {
+    return to_cell(static_cast<double>(value));
+  }
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  static std::string to_cell(T value) {
+    return std::to_string(value);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pf::util

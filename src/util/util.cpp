@@ -1,0 +1,89 @@
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace pf::util {
+
+std::vector<double> parse_range(const std::string& spec) {
+  const std::size_t first = spec.find(':');
+  const std::size_t second = first == std::string::npos
+                                 ? std::string::npos
+                                 : spec.find(':', first + 1);
+  if (second == std::string::npos) {
+    throw CliError("range must be lo:hi:count, got '" + spec + "'");
+  }
+  double lo = 0.0;
+  double hi = 0.0;
+  long count = 0;
+  try {
+    lo = std::stod(spec.substr(0, first));
+    hi = std::stod(spec.substr(first + 1, second - first - 1));
+    count = std::stol(spec.substr(second + 1));
+  } catch (const std::exception&) {
+    throw CliError("range must be lo:hi:count, got '" + spec + "'");
+  }
+  if (count < 1) throw CliError("range count must be >= 1");
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (long i = 0; i < count; ++i) {
+    values.push_back(count == 1 ? lo
+                                : lo + (hi - lo) * static_cast<double>(i) /
+                                           static_cast<double>(count - 1));
+  }
+  return values;
+}
+
+void print_banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string Table::to_cell(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "| " : " | ",
+                  static_cast<int>(c < widths.size() ? widths[c] : 0),
+                  cells[c].c_str());
+    }
+    std::printf(" |\n");
+  };
+  print_row(headers_);
+  std::string rule = "|";
+  for (const std::size_t w : widths) rule += std::string(w + 2, '-') + "|";
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto write_row = [f](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(f, "%s%s", c == 0 ? "" : ",", cells[c].c_str());
+    }
+    std::fprintf(f, "\n");
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace pf::util

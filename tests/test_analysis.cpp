@@ -1,0 +1,79 @@
+// Tab. II / Tab. III verification: the measured triangle census must
+// match the closed-form distribution, realize the 3-(q,3,1) block design,
+// and the intermediate-class table must be uniform per case.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+
+namespace {
+
+using pf::core::Layout;
+using pf::core::PolarFly;
+
+class AnalysisOrders : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AnalysisOrders, TriangleCensusMatchesClosedForm) {
+  const std::uint32_t q = GetParam();
+  const PolarFly pf(q);
+  const Layout layout = pf::core::make_layout(pf);
+  const auto census = pf::core::triangle_census(pf, layout);
+  const auto expected = pf::core::expected_triangle_distribution(q);
+
+  const std::int64_t q64 = q;
+  EXPECT_EQ(census.total, q64 * (q64 * q64 - 1) / 6);
+  EXPECT_EQ(census.intra_cluster, q64 * (q64 - 1) / 2);  // the fan blades
+  EXPECT_EQ(census.inter_cluster, q64 * (q64 - 1) * (q64 - 2) / 6);
+  EXPECT_EQ(census.by_type[0], expected.v1v1v1);
+  EXPECT_EQ(census.by_type[1], expected.v1v1v2);
+  EXPECT_EQ(census.by_type[2], expected.v1v2v2);
+  EXPECT_EQ(census.by_type[3], expected.v2v2v2);
+  EXPECT_TRUE(census.block_design);
+}
+
+TEST_P(AnalysisOrders, IntermediateClassesAreUniform) {
+  const std::uint32_t q = GetParam();
+  const PolarFly pf(q);
+  const auto census = pf::core::intermediate_type_census(pf);
+  EXPECT_TRUE(census.uniform);
+
+  // Propositions V.5/V.6: which class mediates each pair type flips with
+  // q mod 4. counts[a][b][t]: t = 0 is V1, t = 1 is V2.
+  const int expect_v1v1 = q % 4 == 1 ? 0 : 1;
+  EXPECT_GT(census.counts[0][0][expect_v1v1], 0);
+  EXPECT_EQ(census.counts[0][0][1 - expect_v1v1], 0);
+  const int expect_v1v2 = q % 4 == 1 ? 1 : 0;
+  EXPECT_GT(census.counts[0][1][expect_v1v2], 0);
+  EXPECT_EQ(census.counts[0][1][1 - expect_v1v2], 0);
+  const int expect_v2v2 = q % 4 == 1 ? 0 : 1;
+  EXPECT_GT(census.counts[1][1][expect_v2v2], 0);
+  EXPECT_EQ(census.counts[1][1][1 - expect_v2v2], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, AnalysisOrders,
+                         ::testing::Values(5u, 7u, 9u, 11u, 13u, 17u));
+
+TEST(PathDiversity, MatchesStructure) {
+  const PolarFly pf(13);
+  const auto rows = pf::core::path_diversity_census(pf, 6, 42);
+  ASSERT_FALSE(rows.empty());
+  for (const auto& row : rows) {
+    EXPECT_GE(row.samples, 1);
+    EXPECT_LE(row.measured_min, row.measured_max);
+    EXPECT_LE(row.measured_avoid_min, row.measured_min);
+    if (row.length == 2) {
+      // At most one 2-hop path anywhere in ER_q.
+      EXPECT_LE(row.measured_max, 1);
+    }
+    if (row.length == 3 && row.condition.rfind("adjacent", 0) == 0) {
+      // Adjacent pairs have no 3-hop simple paths (the common neighbor
+      // of any midpoint candidate collapses onto the endpoints).
+      EXPECT_EQ(row.measured_max, 0);
+    }
+    if (row.length == 4) {
+      // Theta(q^2) paths of length 4 in every case.
+      EXPECT_GT(row.measured_min, 13);
+    }
+  }
+}
+
+}  // namespace

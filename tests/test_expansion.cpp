@@ -1,0 +1,71 @@
+// Incremental expansion (SS VI): no rewiring, diameter guarantees, and
+// the nodes-per-radix characteristics of Tab. IV.
+#include <gtest/gtest.h>
+
+#include "core/expansion.hpp"
+#include "graph/algos.hpp"
+
+namespace {
+
+using pf::core::Layout;
+using pf::core::PolarFly;
+
+bool base_preserved(const PolarFly& pf, const pf::graph::Graph& expanded) {
+  for (const auto& [u, v] : pf.graph().edge_list()) {
+    if (!expanded.has_edge(u, v)) return false;
+  }
+  return true;
+}
+
+TEST(Expansion, QuadricKeepsDiameterTwo) {
+  const PolarFly pf(7);
+  const Layout layout = pf::core::make_layout(pf);
+  for (const int count : {1, 3}) {
+    const auto expanded = pf::core::expand_quadric(pf, layout, count);
+    EXPECT_EQ(expanded.graph.num_vertices(),
+              pf.num_vertices() + count * (static_cast<int>(pf.q()) + 1));
+    EXPECT_TRUE(base_preserved(pf, expanded.graph));
+    const auto stats = pf::graph::all_pairs_stats(expanded.graph);
+    EXPECT_TRUE(stats.connected);
+    EXPECT_EQ(stats.diameter, 2) << "count=" << count;
+    // V1 vertices gain 2 links per replica: radix grows by 2 * count.
+    EXPECT_EQ(expanded.graph.max_degree(), pf.radix() + 2 * count);
+  }
+}
+
+TEST(Expansion, NonQuadricStaysShallow) {
+  const PolarFly pf(7);
+  const Layout layout = pf::core::make_layout(pf);
+  for (const int count : {1, 2, 4}) {
+    const auto expanded = pf::core::expand_nonquadric(pf, layout, count);
+    EXPECT_EQ(expanded.graph.num_vertices(),
+              pf.num_vertices() + count * static_cast<int>(pf.q()));
+    EXPECT_TRUE(base_preserved(pf, expanded.graph));
+    const auto stats = pf::graph::all_pairs_stats(expanded.graph);
+    EXPECT_TRUE(stats.connected);
+    EXPECT_LE(stats.diameter, 3) << "count=" << count;
+    EXPECT_LT(stats.avg_path_length, 2.5);
+  }
+}
+
+TEST(Expansion, SourceBookkeeping) {
+  const PolarFly pf(5);
+  const Layout layout = pf::core::make_layout(pf);
+  const auto expanded = pf::core::expand_quadric(pf, layout, 2);
+  ASSERT_EQ(expanded.source_of.size(), 2 * (pf.q() + 1));
+  for (std::size_t i = 0; i < expanded.source_of.size(); ++i) {
+    const int original = expanded.source_of[i];
+    const int copy = pf.num_vertices() + static_cast<int>(i);
+    // A copy has exactly the original's neighborhood.
+    EXPECT_EQ(expanded.graph.degree(copy), pf.graph().degree(original));
+    for (const std::int32_t u : pf.graph().neighbors(original)) {
+      EXPECT_TRUE(expanded.graph.has_edge(copy, u));
+    }
+  }
+  EXPECT_THROW(pf::core::expand_nonquadric(pf, layout, 100),
+               std::invalid_argument);
+  EXPECT_THROW(pf::core::expand_quadric(pf, layout, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Graph core + algorithm tests on small known graphs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/algos.hpp"
+#include "graph/centrality.hpp"
+#include "graph/export.hpp"
+#include "graph/flow.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "graph/spectral.hpp"
+#include "topo/moore_graphs.hpp"
+
+namespace {
+
+using pf::graph::Graph;
+
+Graph cycle(int n) {
+  std::vector<pf::graph::Edge> edges;
+  for (int i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete(int n) {
+  std::vector<pf::graph::Edge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+TEST(Graph, CsrBasics) {
+  // Duplicates, reversed orientation and self-loops are normalized away.
+  const Graph g = Graph::from_edges(
+      4, {{0, 1}, {1, 0}, {2, 1}, {3, 3}, {0, 1}, {2, 3}});
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(3, 3));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.min_degree(), 1);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_EQ(g.edge_list().size(), 3u);
+
+  const Graph removed = g.without_edges({{1, 0}});
+  EXPECT_EQ(removed.num_edges(), 2);
+  EXPECT_FALSE(removed.has_edge(0, 1));
+}
+
+TEST(Graph, BfsAndStats) {
+  const Graph c6 = cycle(6);
+  const auto dist = pf::graph::bfs_distances(c6, 0);
+  EXPECT_EQ(dist[3], 3);
+  const auto stats = pf::graph::all_pairs_stats(c6);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 3);
+  EXPECT_NEAR(stats.avg_path_length, (1 + 1 + 2 + 2 + 3) / 5.0, 1e-9);
+  EXPECT_TRUE(pf::graph::is_connected(c6));
+  EXPECT_FALSE(pf::graph::is_connected(
+      Graph::from_edges(4, {{0, 1}, {2, 3}})));
+}
+
+TEST(Graph, GirthAndTriangles) {
+  EXPECT_EQ(pf::graph::girth(cycle(5)), 5);
+  EXPECT_EQ(pf::graph::girth(complete(4)), 3);
+  EXPECT_EQ(pf::graph::girth(Graph::from_edges(3, {{0, 1}, {1, 2}})), -1);
+  EXPECT_EQ(pf::graph::girth(pf::topo::petersen_graph()), 5);
+  EXPECT_EQ(pf::graph::count_triangles(complete(5)), 10);
+  EXPECT_EQ(pf::graph::count_triangles(cycle(5)), 0);
+  EXPECT_EQ(pf::graph::count_triangles(pf::topo::petersen_graph()), 0);
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_EQ(pf::graph::edge_connectivity(cycle(6)), 2);
+  EXPECT_EQ(pf::graph::vertex_connectivity(cycle(6)), 2);
+  EXPECT_EQ(pf::graph::edge_connectivity(complete(5)), 4);
+  EXPECT_EQ(pf::graph::vertex_connectivity(complete(5)), 4);
+  EXPECT_EQ(pf::graph::vertex_connectivity(pf::topo::petersen_graph()), 3);
+  // Two triangles joined by a bridge.
+  const Graph bridged = Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  EXPECT_EQ(pf::graph::edge_connectivity(bridged), 1);
+  EXPECT_EQ(pf::graph::vertex_connectivity(bridged), 1);
+}
+
+TEST(Graph, Bisection) {
+  // Two K5s joined by one edge: the optimal balanced cut is that edge.
+  std::vector<pf::graph::Edge> edges;
+  for (int side = 0; side < 2; ++side) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) {
+        edges.emplace_back(5 * side + i, 5 * side + j);
+      }
+    }
+  }
+  edges.emplace_back(0, 5);
+  const Graph g = Graph::from_edges(10, std::move(edges));
+  const auto result = pf::graph::bisect(g);
+  EXPECT_EQ(result.cut_edges, 1);
+  int left = 0;
+  for (const auto s : result.side) left += s == 0 ? 1 : 0;
+  EXPECT_EQ(left, 5);
+}
+
+TEST(Graph, Spectrum) {
+  const auto spectrum = pf::graph::estimate_spectrum(complete(6));
+  EXPECT_NEAR(spectrum.lambda1, 5.0, 1e-6);
+  EXPECT_NEAR(spectrum.lambda2, 1.0, 1e-4);
+  // Petersen: spectrum {3, 1^5, (-2)^4}.
+  const auto petersen = pf::graph::estimate_spectrum(
+      pf::topo::petersen_graph());
+  EXPECT_NEAR(petersen.lambda1, 3.0, 1e-6);
+  EXPECT_NEAR(petersen.lambda2, 2.0, 1e-4);
+}
+
+TEST(Graph, Betweenness) {
+  // Path 0-1-2: the middle vertex carries the single (0,2) pair both
+  // ways, the ends carry nothing.
+  const Graph path = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto scores = pf::graph::vertex_betweenness(path);
+  EXPECT_NEAR(scores[0], 0.0, 1e-12);
+  EXPECT_NEAR(scores[1], 2.0, 1e-12);
+  EXPECT_NEAR(scores[2], 0.0, 1e-12);
+}
+
+TEST(Graph, ExportAndImportRoundTrip) {
+  const Graph g = pf::topo::petersen_graph();
+  const std::string edge_path = "test_roundtrip.edges";
+  std::FILE* f = std::fopen(edge_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "# petersen\n");
+  for (const auto& [u, v] : g.edge_list()) std::fprintf(f, "%d %d\n", u, v);
+  std::fclose(f);
+  const Graph back = pf::graph::read_edge_list(edge_path);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.edge_list(), g.edge_list());
+  std::remove(edge_path.c_str());
+
+  const std::string dot_path = "test_export.dot";
+  EXPECT_TRUE(pf::graph::write_dot(g, dot_path, {}, "petersen"));
+  std::remove(dot_path.c_str());
+  const std::string csv_path = "test_export.csv";
+  EXPECT_TRUE(pf::graph::write_edge_csv(g, csv_path));
+  std::remove(csv_path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Algorithm-1 layout invariants for odd q and the even-q star layout.
+#include <gtest/gtest.h>
+
+#include "core/layout.hpp"
+#include "core/polarfly.hpp"
+
+namespace {
+
+using pf::core::Layout;
+using pf::core::PolarFly;
+using pf::core::VertexClass;
+
+class OddLayout : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(OddLayout, PartitionShape) {
+  const std::uint32_t q = GetParam();
+  const PolarFly pf(q);
+  const Layout layout = pf::core::make_layout(pf);
+
+  ASSERT_EQ(layout.clusters.size(), q + 1);  // quadrics + q fans
+  EXPECT_EQ(layout.clusters[0].size(), q + 1);
+  EXPECT_EQ(layout.centers[0], layout.starter_quadric);
+  for (std::size_t c = 1; c < layout.clusters.size(); ++c) {
+    EXPECT_EQ(layout.clusters[c].size(), q) << "cluster " << c;
+  }
+
+  // Every vertex in exactly one cluster, consistent with cluster_of.
+  std::vector<int> seen(static_cast<std::size_t>(pf.num_vertices()), 0);
+  for (std::size_t c = 0; c < layout.clusters.size(); ++c) {
+    for (const int v : layout.clusters[c]) {
+      ++seen[static_cast<std::size_t>(v)];
+      EXPECT_EQ(layout.cluster_of[static_cast<std::size_t>(v)],
+                static_cast<int>(c));
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST_P(OddLayout, FanStructure) {
+  const std::uint32_t q = GetParam();
+  const PolarFly pf(q);
+  const Layout layout = pf::core::make_layout(pf);
+
+  for (std::size_t c = 1; c < layout.clusters.size(); ++c) {
+    const int center = layout.centers[c];
+    EXPECT_TRUE(pf.graph().has_edge(layout.starter_quadric, center));
+    int blade_edges = 0;
+    for (const int v : layout.clusters[c]) {
+      if (v == center) continue;
+      // The center is adjacent to every member of its fan.
+      EXPECT_TRUE(pf.graph().has_edge(center, v));
+      // Each non-center member pairs with exactly one other member.
+      int partners = 0;
+      for (const int u : layout.clusters[c]) {
+        if (u != v && u != center && pf.graph().has_edge(u, v)) ++partners;
+      }
+      EXPECT_EQ(partners, 1) << "vertex " << v;
+      blade_edges += partners;
+    }
+    EXPECT_EQ(blade_edges / 2, static_cast<int>((q - 1) / 2));  // blades
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OddLayout,
+                         ::testing::Values(5u, 7u, 9u, 11u, 13u));
+
+class EvenLayout : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EvenLayout, StarPartition) {
+  const std::uint32_t q = GetParam();
+  const PolarFly pf(q);
+  const Layout layout = pf::core::make_layout_even(pf);
+
+  ASSERT_EQ(layout.clusters.size(), q + 2);  // nucleus + one star/quadric
+  EXPECT_EQ(layout.clusters[0].size(), 1u);
+  const int nucleus = layout.starter_quadric;
+  EXPECT_EQ(layout.clusters[0][0], nucleus);
+
+  // The nucleus is adjacent to exactly the q+1 quadrics.
+  EXPECT_EQ(pf.graph().degree(nucleus), static_cast<int>(q) + 1);
+  for (const std::int32_t w : pf.graph().neighbors(nucleus)) {
+    EXPECT_EQ(pf.vertex_class(static_cast<int>(w)), VertexClass::Quadric);
+  }
+
+  std::size_t covered = 1;
+  for (std::size_t c = 1; c < layout.clusters.size(); ++c) {
+    EXPECT_EQ(layout.clusters[c].size(), q);
+    const int center = layout.centers[c];
+    EXPECT_EQ(pf.vertex_class(center), VertexClass::Quadric);
+    for (const int v : layout.clusters[c]) {
+      if (v != center) {
+        EXPECT_TRUE(pf.graph().has_edge(center, v));
+      }
+    }
+    covered += layout.clusters[c].size();
+  }
+  EXPECT_EQ(covered, static_cast<std::size_t>(pf.num_vertices()));
+
+  // make_layout delegates for even q.
+  EXPECT_EQ(pf::core::make_layout(pf).clusters.size(), q + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, EvenLayout, ::testing::Values(4u, 8u));
+
+}  // namespace

@@ -1,0 +1,129 @@
+// PolarFly structural invariants: sizes, degrees, diameter 2, the
+// unique-common-neighbor property, vertex classes, girth and triangle
+// counts (Tab. II totals).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/polarfly.hpp"
+#include "graph/algos.hpp"
+
+namespace {
+
+using pf::core::PolarFly;
+using pf::core::VertexClass;
+
+class PolarFlyInvariants : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PolarFlyInvariants, SizesAndDegrees) {
+  const std::uint32_t q = GetParam();
+  const PolarFly pf(q);
+  const int n = static_cast<int>(q * q + q + 1);
+  EXPECT_EQ(pf.num_vertices(), n);
+  EXPECT_EQ(pf.radix(), static_cast<int>(q) + 1);
+  EXPECT_EQ(pf.quadrics().size(), q + 1);  // q+1 self-paired vertices
+
+  // Quadrics have degree q (dropped self-loop), the rest q + 1.
+  for (int v = 0; v < n; ++v) {
+    const bool quadric = pf.vertex_class(v) == VertexClass::Quadric;
+    EXPECT_EQ(pf.graph().degree(v), static_cast<int>(q) + (quadric ? 0 : 1))
+        << "vertex " << v;
+  }
+  // Total links: q (q+1)^2 / 2.
+  EXPECT_EQ(pf.graph().num_edges(),
+            static_cast<std::int64_t>(q) * (q + 1) * (q + 1) / 2);
+}
+
+TEST_P(PolarFlyInvariants, DiameterTwo) {
+  const PolarFly pf(GetParam());
+  const auto stats = pf::graph::all_pairs_stats(pf.graph());
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 2);
+}
+
+TEST_P(PolarFlyInvariants, UniqueCommonNeighborAndIntermediate) {
+  const std::uint32_t q = GetParam();
+  const PolarFly pf(q);
+  const auto& g = pf.graph();
+  const int n = pf.num_vertices();
+  const int stride = n > 120 ? 7 : 1;
+  for (int u = 0; u < n; u += stride) {
+    for (int v = u + 1; v < n; v += stride) {
+      // Count common neighbors directly.
+      int common = 0;
+      for (const std::int32_t w : g.neighbors(u)) {
+        if (g.has_edge(static_cast<int>(w), v)) ++common;
+      }
+      const int mid = pf.intermediate(u, v);
+      const bool mid_is_endpoint = mid == u || mid == v;
+      if (mid_is_endpoint) {
+        // A quadric adjacent to the other endpoint: no third vertex.
+        EXPECT_EQ(common, 0) << u << "," << v;
+      } else {
+        EXPECT_EQ(common, 1) << u << "," << v;
+        EXPECT_TRUE(g.has_edge(u, mid));
+        EXPECT_TRUE(g.has_edge(mid, v));
+      }
+    }
+  }
+}
+
+TEST_P(PolarFlyInvariants, VertexClassCountsOddQ) {
+  const std::uint32_t q = GetParam();
+  const PolarFly pf(q);
+  if (q % 2 == 0) {
+    // Even q: the nucleus plus quadrics; every other vertex sees exactly
+    // one quadric.
+    EXPECT_EQ(pf.vertices_of_class(VertexClass::V1).size(), q * q);
+    EXPECT_EQ(pf.vertices_of_class(VertexClass::V2).size(), 0u);
+    return;
+  }
+  EXPECT_EQ(pf.vertices_of_class(VertexClass::V1).size(), q * (q + 1) / 2);
+  EXPECT_EQ(pf.vertices_of_class(VertexClass::V2).size(), q * (q - 1) / 2);
+  // V1 vertices have exactly 2 quadric neighbors (secant polar line).
+  for (const int v : pf.vertices_of_class(VertexClass::V1)) {
+    int quadric_neighbors = 0;
+    for (const std::int32_t w : pf.graph().neighbors(v)) {
+      if (pf.vertex_class(static_cast<int>(w)) == VertexClass::Quadric) {
+        ++quadric_neighbors;
+      }
+    }
+    EXPECT_EQ(quadric_neighbors, 2);
+  }
+}
+
+TEST_P(PolarFlyInvariants, GirthAndTriangles) {
+  const std::uint32_t q = GetParam();
+  const PolarFly pf(q);
+  EXPECT_EQ(pf::graph::girth(pf.graph()), 3);
+  if (q % 2 == 1) {
+    // Total triangles q (q^2 - 1) / 6: each edge not touching a quadric
+    // lies in exactly one triangle.
+    EXPECT_EQ(pf::graph::count_triangles(pf.graph()),
+              static_cast<std::int64_t>(q) * (q * q - 1) / 6);
+  }
+}
+
+TEST_P(PolarFlyInvariants, CoordinatesRoundTrip) {
+  const PolarFly pf(GetParam());
+  for (int v = 0; v < pf.num_vertices(); ++v) {
+    EXPECT_EQ(pf.point_index(pf.coordinates(v)), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PolarFlyInvariants,
+                         ::testing::Values(3u, 4u, 5u, 7u, 8u, 9u, 11u,
+                                           13u));
+
+TEST(PolarFly, AcceptanceSize) {
+  // The PR acceptance check: q=7 -> N=57, diameter 2.
+  const PolarFly pf(7);
+  EXPECT_EQ(pf.num_vertices(), 57);
+  EXPECT_EQ(pf::graph::all_pairs_stats(pf.graph()).diameter, 2);
+}
+
+TEST(PolarFly, RejectsNonPrimePower) {
+  EXPECT_THROW(PolarFly(6), std::invalid_argument);
+}
+
+}  // namespace

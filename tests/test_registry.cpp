@@ -1,0 +1,87 @@
+// Topology registry: every family constructs, parameters are validated,
+// instances carry their structured handles.
+#include <gtest/gtest.h>
+
+#include "graph/algos.hpp"
+#include "topo/registry.hpp"
+
+namespace {
+
+using pf::topo::make_topology;
+using pf::topo::TopologyParams;
+
+TEST(Registry, PolarFlyCarriesHandle) {
+  const auto inst = make_topology("polarfly", {{"q", 7}});
+  EXPECT_EQ(inst.graph.num_vertices(), 57);
+  EXPECT_EQ(inst.radix, 8);
+  ASSERT_NE(inst.polarfly, nullptr);
+  EXPECT_EQ(inst.polarfly->q(), 7u);
+  EXPECT_EQ(inst.family, "polarfly");
+  // Alias.
+  EXPECT_EQ(make_topology("pf", {{"q", 7}}).graph.num_vertices(), 57);
+}
+
+TEST(Registry, AllFamiliesConstruct) {
+  const std::vector<std::pair<std::string, TopologyParams>> cases = {
+      {"slimfly", {{"q", 5}}},
+      {"dragonfly", {{"a", 4}, {"h", 2}, {"p", 2}}},
+      {"fattree", {{"levels", 3}, {"arity", 4}}},
+      {"jellyfish", {{"n", 30}, {"k", 4}, {"seed", 9}}},
+      {"hyperx", {{"a", 5}}},
+      {"torus", {{"k", 4}, {"d", 2}}},
+      {"hypercube", {{"d", 5}}},
+      {"brown", {{"q", 5}}},
+      {"petersen", {}},
+      {"hoffman-singleton", {}},
+  };
+  for (const auto& [family, params] : cases) {
+    const auto inst = make_topology(family, params);
+    EXPECT_GT(inst.graph.num_vertices(), 0) << family;
+    EXPECT_GT(inst.radix, 0) << family;
+    EXPECT_FALSE(inst.label.empty()) << family;
+    EXPECT_TRUE(pf::graph::is_connected(inst.graph)) << family;
+  }
+}
+
+TEST(Registry, FatTreeEndpoints) {
+  const auto inst = make_topology("fattree", {{"arity", 4}});
+  ASSERT_NE(inst.fattree, nullptr);
+  EXPECT_EQ(inst.default_concentration(), 4);
+  const auto endpoints = inst.endpoints(4);
+  int terminals = 0;
+  for (std::size_t v = 0; v < endpoints.size(); ++v) {
+    terminals += endpoints[v];
+    if (endpoints[v] > 0) {
+      EXPECT_EQ(inst.fattree->level_of(static_cast<int>(v)), 0);
+    }
+  }
+  EXPECT_EQ(terminals, 4 * inst.fattree->switches_per_level());
+}
+
+TEST(Registry, DirectTopologyEndpoints) {
+  const auto inst = make_topology("polarfly", {{"q", 5}});
+  EXPECT_EQ(inst.default_concentration(), 3);  // (radix+1)/2
+  const auto endpoints = inst.endpoints(3);
+  for (const int count : endpoints) EXPECT_EQ(count, 3);
+}
+
+TEST(Registry, Errors) {
+  EXPECT_THROW(make_topology("nosuch", {}), std::invalid_argument);
+  EXPECT_THROW(make_topology("polarfly", {}), std::invalid_argument);
+  EXPECT_THROW(make_topology("dragonfly", {{"a", 4}}),
+               std::invalid_argument);
+  EXPECT_THROW(make_topology("polarfly", {{"q", 6}}),
+               std::invalid_argument);
+}
+
+TEST(Registry, UsageListsEveryFamily) {
+  const std::string usage = pf::topo::topology_usage();
+  for (const char* family :
+       {"polarfly", "slimfly", "dragonfly", "fattree", "jellyfish",
+        "hyperx", "torus", "hypercube", "brown", "petersen",
+        "hoffman-singleton"}) {
+    EXPECT_NE(usage.find(family), std::string::npos) << family;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Baseline topology families: sizes, radixes, diameters and the known
+// coincidences (MMS(5) = Hoffman-Singleton scale, B(q) girth 6, ...).
+#include <gtest/gtest.h>
+
+#include "core/feasibility.hpp"
+#include "graph/algos.hpp"
+#include "topo/brown.hpp"
+#include "topo/cost.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
+#include "topo/hyperx.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/moore_graphs.hpp"
+#include "topo/slimfly.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using pf::graph::all_pairs_stats;
+
+TEST(SlimFly, StructureAndDiameter) {
+  for (const std::uint32_t q : {5u, 7u, 8u, 11u, 13u}) {
+    const pf::topo::SlimFly sf(q);
+    EXPECT_EQ(sf.num_vertices(), static_cast<int>(2 * q * q));
+    const auto stats = all_pairs_stats(sf.graph());
+    EXPECT_TRUE(stats.connected) << "q=" << q;
+    EXPECT_EQ(stats.diameter, 2) << "q=" << q;
+    EXPECT_EQ(sf.graph().max_degree(), sf.radix()) << "q=" << q;
+    EXPECT_EQ(sf.graph().min_degree(), sf.radix()) << "q=" << q;
+  }
+  EXPECT_THROW(pf::topo::SlimFly(6), std::invalid_argument);
+}
+
+TEST(SlimFly, FeasibilityCounts) {
+  // Fig. 1's paper counts for the design-space comparison.
+  EXPECT_EQ(pf::core::slimfly_radixes_formula(16).size(), 6u);
+  EXPECT_EQ(pf::core::polarfly_radixes(16).size(), 9u);
+  EXPECT_EQ(pf::core::polarfly_plus_radixes(16).size(), 12u);
+  EXPECT_EQ(pf::core::slimfly_radixes_formula(32).size(), 11u);
+  EXPECT_EQ(pf::core::polarfly_radixes(32).size(), 17u);
+  EXPECT_EQ(pf::core::polarfly_plus_radixes(32).size(), 23u);
+}
+
+TEST(Dragonfly, Structure) {
+  const pf::topo::Dragonfly df(4, 2, 2);
+  EXPECT_EQ(df.groups(), 9);
+  EXPECT_EQ(df.num_vertices(), 36);
+  EXPECT_EQ(df.radix(), 4 - 1 + 2 + 2);
+  EXPECT_EQ(df.graph().max_degree(), 4 - 1 + 2);  // network ports only
+  const auto stats = all_pairs_stats(df.graph());
+  EXPECT_TRUE(stats.connected);
+  EXPECT_LE(stats.diameter, 3);
+  // Exactly one global link between every group pair.
+  int cross = 0;
+  for (const auto& [u, v] : df.graph().edge_list()) {
+    if (df.group_of(u) != df.group_of(v)) ++cross;
+  }
+  EXPECT_EQ(cross, df.groups() * (df.groups() - 1) / 2);
+
+  const pf::topo::Dragonfly balanced = pf::topo::Dragonfly::balanced(3);
+  EXPECT_EQ(balanced.a(), 6);
+  EXPECT_EQ(balanced.p(), 3);
+}
+
+TEST(FatTree, Structure) {
+  const pf::topo::FatTree ft(3, 4);
+  EXPECT_EQ(ft.switches_per_level(), 16);
+  EXPECT_EQ(ft.num_vertices(), 48);
+  EXPECT_EQ(ft.radix(), 8);
+  const auto stats = all_pairs_stats(ft.graph());
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 4);  // up to the top and back down
+  // Every non-top switch has arity up-links.
+  for (int leaf = 0; leaf < ft.switches_per_level(); ++leaf) {
+    EXPECT_EQ(ft.graph().degree(ft.switch_id(0, leaf)), 4);
+    EXPECT_EQ(ft.graph().degree(ft.switch_id(1, leaf)), 8);
+    EXPECT_EQ(ft.graph().degree(ft.switch_id(2, leaf)), 4);
+  }
+  EXPECT_EQ(ft.nca_level(0, 1), 1);
+  EXPECT_EQ(ft.nca_level(0, 15), 2);
+  EXPECT_EQ(ft.nca_level(5, 5), 0);
+}
+
+TEST(Jellyfish, RegularAndConnected) {
+  const pf::topo::Jellyfish jf(50, 6, 123);
+  EXPECT_EQ(jf.num_vertices(), 50);
+  EXPECT_EQ(jf.graph().min_degree(), 6);
+  EXPECT_EQ(jf.graph().max_degree(), 6);
+  EXPECT_TRUE(pf::graph::is_connected(jf.graph()));
+  // Deterministic under the same seed.
+  const pf::topo::Jellyfish again(50, 6, 123);
+  EXPECT_EQ(jf.graph().edge_list(), again.graph().edge_list());
+  EXPECT_THROW(pf::topo::Jellyfish(9, 3, 1), std::invalid_argument);
+}
+
+TEST(HyperX, DiameterTwo) {
+  const pf::topo::HyperX hx(6, 6);
+  EXPECT_EQ(hx.num_vertices(), 36);
+  EXPECT_EQ(hx.radix(), 10);
+  EXPECT_EQ(all_pairs_stats(hx.graph()).diameter, 2);
+}
+
+TEST(TorusAndHypercube, Structure) {
+  const pf::topo::Torus torus(4, 2);
+  EXPECT_EQ(torus.num_vertices(), 16);
+  EXPECT_EQ(torus.radix(), 4);
+  EXPECT_EQ(all_pairs_stats(torus.graph()).diameter, 4);
+
+  const pf::topo::Hypercube cube(4);
+  EXPECT_EQ(cube.num_vertices(), 16);
+  EXPECT_EQ(cube.radix(), 4);
+  EXPECT_EQ(all_pairs_stats(cube.graph()).diameter, 4);
+}
+
+TEST(Brown, IncidenceStructure) {
+  const pf::topo::BrownIncidence brown(7);
+  EXPECT_EQ(brown.num_vertices(), 2 * 57);
+  EXPECT_EQ(brown.graph().min_degree(), 8);  // q+1 regular
+  EXPECT_EQ(brown.graph().max_degree(), 8);
+  const auto stats = all_pairs_stats(brown.graph());
+  EXPECT_EQ(stats.diameter, 3);
+  EXPECT_EQ(pf::graph::girth(brown.graph()), 6);
+  EXPECT_EQ(pf::graph::count_triangles(brown.graph()), 0);
+}
+
+TEST(MooreGraphs, PetersenAndHoffmanSingleton) {
+  const auto petersen = pf::topo::petersen_graph();
+  EXPECT_EQ(petersen.num_vertices(), 10);
+  EXPECT_EQ(petersen.min_degree(), 3);
+  EXPECT_EQ(petersen.max_degree(), 3);
+  EXPECT_EQ(all_pairs_stats(petersen).diameter, 2);
+  EXPECT_EQ(petersen.num_vertices(), pf::core::moore_bound(3));
+
+  const auto hs = pf::topo::hoffman_singleton_graph();
+  EXPECT_EQ(hs.num_vertices(), 50);
+  EXPECT_EQ(hs.min_degree(), 7);
+  EXPECT_EQ(hs.max_degree(), 7);
+  EXPECT_EQ(all_pairs_stats(hs).diameter, 2);
+  EXPECT_EQ(pf::graph::girth(hs), 5);
+  EXPECT_EQ(hs.num_vertices(), pf::core::moore_bound(7));
+}
+
+TEST(CostModel, NormalizedToPolarFly) {
+  const auto inputs = pf::topo::paper_cost_inputs();
+  ASSERT_EQ(inputs.size(), 4u);
+  const auto rows = pf::topo::evaluate_cost(inputs);
+  EXPECT_NEAR(rows[0].cost_uniform, 1.0, 1e-12);
+  EXPECT_NEAR(rows[0].cost_permutation, 1.0, 1e-12);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].cost_uniform, 1.0);  // PolarFly is cheapest
+    EXPECT_GT(rows[i].cost_permutation, 1.0);
+  }
+  // The fat tree's switch complex dominates the uniform-traffic cost.
+  EXPECT_GT(rows[3].cost_uniform, rows[1].cost_uniform);
+}
+
+TEST(Feasibility, MooreBound) {
+  EXPECT_EQ(pf::core::moore_bound(32), 1025);
+  const auto configs = pf::core::polarfly_configs(32);
+  ASSERT_FALSE(configs.empty());
+  EXPECT_EQ(configs.back().q, 31u);
+  EXPECT_EQ(configs.back().nodes, 993);
+  EXPECT_NEAR(configs.back().moore_efficiency, 993.0 / 1025.0, 1e-12);
+}
+
+}  // namespace
