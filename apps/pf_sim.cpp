@@ -1,18 +1,25 @@
 // pf_sim — run the flit-level network simulator from the command line:
-// one topology, one routing algorithm, one traffic pattern, one load or a
-// whole latency-vs-load sweep. The CLI twin of the Fig. 8-11 benches.
+// one topology, one routing algorithm, one traffic pattern, one load, a
+// whole latency-vs-load sweep, or an adaptive saturation search. The CLI
+// twin of the Fig. 8-11 benches, driving the same src/exp engine.
 //
 //   pf_sim --topology pf --q 13 --routing UGALPF --pattern uniform
 //          --loads 0.1:1.0:8 [--endpoints P] [--packet-size 4] [--vcs 16]
 //          [--buf 256] [--warmup C] [--measure C] [--drain C] [--seed S]
+//          [--ugal-threshold X] [--json PATH] [--csv PATH]
+//   pf_sim ... --saturation-search [--sat-lo 0.05] [--sat-hi 1.0]
+//          [--sat-tol 0.02] [--sat-iters 10]
 //
 // Patterns: uniform | tornado | randperm | perm1hop | perm2hop | bitcomp
-// Routing:  MIN | VAL | CVAL | UGAL | UGALPF | NCA (fat tree only)
+// Routing:  MIN | VAL | CVAL | UGAL | UGALPF | NCA (fat tree) | ALG (PF)
 #include <cstdio>
 #include <exception>
 #include <memory>
 #include <string>
 
+#include "exp/engine.hpp"
+#include "exp/results.hpp"
+#include "exp/scenario.hpp"
 #include "sim/deadlock.hpp"
 #include "sim/harness.hpp"
 #include "sim/network.hpp"
@@ -29,7 +36,7 @@ namespace {
 int usage() {
   std::printf(
       "pf_sim --topology F [family params] --routing R --pattern P\n"
-      "       (--load X | --loads lo:hi:count)\n"
+      "       (--load X | --loads lo:hi:count | --saturation-search)\n"
       "\n"
       "options:\n"
       "  --endpoints N    endpoints per router (default: radix/2 balanced)\n"
@@ -38,68 +45,22 @@ int usage() {
       "  --buf N          flit buffer per port (default 256)\n"
       "  --warmup/--measure/--drain C   phase lengths in cycles\n"
       "  --seed S         simulation seed (default 42)\n"
+      "  --ugal-threshold X  UGAL adaptivity gate (default: kind's paper\n"
+      "                   value — UGAL 0, UGALPF 2/3)\n"
+      "  --json PATH      write the run as a polarfly-run/1 JSON record\n"
       "  --csv PATH       also write the sweep as CSV\n"
+      "  --saturation-search  bisect the accepted-load plateau instead of\n"
+      "                   a fixed grid [--sat-lo L] [--sat-hi H]\n"
+      "                   [--sat-tol T] [--sat-iters N]\n"
       "  --check-deadlock verify the routing's channel-dependency graph\n"
       "                   is acyclic instead of simulating\n"
       "                   [--classes N] [--samples S]\n"
       "\n"
-      "routing: MIN VAL CVAL UGAL UGALPF NCA(fattree)\n"
+      "routing: MIN VAL CVAL UGAL UGALPF NCA(fattree) ALG(polarfly)\n"
       "patterns: uniform tornado randperm perm1hop perm2hop bitcomp\n"
       "\ntopologies:\n%s",
       topo::topology_usage().c_str());
   return 2;
-}
-
-std::unique_ptr<sim::RoutingAlgorithm> make_routing(
-    const std::string& kind, const topo::TopologyInstance& inst,
-    const graph::Graph& g, const sim::DistanceOracle& oracle) {
-  if (kind == "MIN") return std::make_unique<sim::MinimalRouting>(g, oracle);
-  if (kind == "VAL") return std::make_unique<sim::ValiantRouting>(g, oracle);
-  if (kind == "CVAL") {
-    return std::make_unique<sim::CompactValiantRouting>(g, oracle);
-  }
-  if (kind == "UGAL") {
-    return std::make_unique<sim::UgalRouting>(g, oracle, false);
-  }
-  if (kind == "UGALPF") {
-    return std::make_unique<sim::UgalRouting>(g, oracle, true, 2.0 / 3.0);
-  }
-  if (kind == "NCA") {
-    if (!inst.fattree) {
-      throw util::CliError("--routing NCA requires --topology fattree");
-    }
-    return std::make_unique<sim::FatTreeNcaRouting>(*inst.fattree);
-  }
-  throw util::CliError("unknown --routing " + kind);
-}
-
-std::unique_ptr<sim::TrafficPattern> make_pattern(const std::string& kind,
-                                                  const graph::Graph& g,
-                                                  std::vector<int> terminals,
-                                                  std::uint64_t seed) {
-  using sim::PermutationTraffic;
-  if (kind == "uniform") {
-    return std::make_unique<sim::UniformTraffic>(std::move(terminals));
-  }
-  if (kind == "tornado") {
-    return std::make_unique<PermutationTraffic>(
-        PermutationTraffic::tornado(std::move(terminals)));
-  }
-  if (kind == "randperm") {
-    return std::make_unique<PermutationTraffic>(
-        PermutationTraffic::random(std::move(terminals), seed));
-  }
-  if (kind == "perm1hop" || kind == "perm2hop") {
-    const int distance = kind == "perm1hop" ? 1 : 2;
-    return std::make_unique<PermutationTraffic>(
-        PermutationTraffic::at_distance(g, std::move(terminals), distance,
-                                        seed));
-  }
-  if (kind == "bitcomp") {
-    return std::make_unique<PermutationTraffic>(
-        PermutationTraffic::bit_complement(std::move(terminals)));
-  }
-  throw util::CliError("unknown --pattern " + kind);
 }
 
 int run(int argc, char** argv) {
@@ -109,7 +70,7 @@ int run(int argc, char** argv) {
   const auto inst = topology_from_args(args);
   const int p = static_cast<int>(
       args.integer_or("endpoints", inst.default_concentration()));
-  const auto endpoints = inst.endpoints(p);
+  const exp::NetSetup setup = exp::make_setup(inst, p);
 
   sim::SimConfig config;
   config.packet_size = static_cast<int>(args.integer_or("packet-size", 4));
@@ -120,12 +81,20 @@ int run(int argc, char** argv) {
   config.drain_cycles = static_cast<int>(args.integer_or("drain", 8000));
   config.seed = static_cast<std::uint64_t>(args.integer_or("seed", 42));
 
-  const sim::DistanceOracle oracle(inst.graph);
-  const auto routing =
-      make_routing(args.str_or("routing", "MIN"), inst, inst.graph, oracle);
-  const auto pattern =
-      make_pattern(args.str_or("pattern", "uniform"), inst.graph,
-                   sim::terminal_routers(endpoints), config.seed);
+  exp::RoutingOptions routing_options;
+  const std::string routing_kind = args.str_or("routing", "MIN");
+  if (args.has("ugal-threshold")) {
+    routing_options.ugal_threshold = args.real("ugal-threshold");
+    if (routing_kind != "UGAL" && routing_kind != "UGALPF") {
+      std::fprintf(stderr,
+                   "warning: --ugal-threshold has no effect on routing %s\n",
+                   routing_kind.c_str());
+    }
+  }
+  const auto routing = exp::make_routing(setup, routing_kind,
+                                         routing_options);
+  const auto pattern = exp::make_pattern(
+      setup, args.str_or("pattern", "uniform"), config.seed);
 
   if (args.has("check-deadlock")) {
     // Dally-Seitz check instead of a simulation: build the channel
@@ -144,7 +113,10 @@ int run(int argc, char** argv) {
           out.clear();
           // Only terminal pairs carry traffic (fat-tree transit switches
           // never source or sink packets).
-          if (endpoints[s] == 0 || endpoints[d] == 0) return;
+          if (setup.endpoints[static_cast<std::size_t>(s)] == 0 ||
+              setup.endpoints[static_cast<std::size_t>(d)] == 0) {
+            return;
+          }
           routing->route(idle, s, d, rng, out);
         },
         static_cast<int>(args.integer_or("samples", 2)), classes,
@@ -163,40 +135,44 @@ int run(int argc, char** argv) {
     return check.acyclic ? 0 : 1;
   }
 
-  std::vector<double> loads;
-  if (args.has("loads")) {
-    loads = util::parse_range(args.str("loads"));
-  } else {
-    loads = {args.real_or("load", 0.5)};
-  }
-
   const std::string label = inst.label + " / " + routing->name() + " / " +
                             pattern->name() + " (p=" + std::to_string(p) +
                             ")";
-  const auto sweep = sim::sweep_loads(inst.graph, endpoints, *routing,
-                                      *pattern, config, loads, label);
 
-  util::print_banner(sweep.label);
-  util::Table table({"offered", "accepted", "avg_latency", "p99_latency",
-                     "stable"});
-  for (const auto& point : sweep.points) {
-    table.row(point.offered, point.accepted, point.avg_latency,
-              point.p99_latency, point.converged ? "yes" : "no");
+  exp::RunRecord run;
+  if (args.has("saturation-search")) {
+    run = exp::saturation_search(
+        setup, *routing, *pattern, config, label,
+        args.real_or("sat-lo", 0.05), args.real_or("sat-hi", 1.0),
+        args.real_or("sat-tol", 0.02),
+        static_cast<int>(args.integer_or("sat-iters", 10)));
+  } else {
+    std::vector<double> loads;
+    if (args.has("loads")) {
+      loads = util::parse_range(args.str("loads"));
+    } else {
+      loads = {args.real_or("load", 0.5)};
+    }
+    run = exp::run_sweep(setup, *routing, *pattern, config, loads, label);
   }
-  table.print();
-  std::printf("saturation throughput: %.3f flits/cycle/endpoint\n",
-              sweep.saturation());
+
+  const std::string pattern_kind = args.str_or("pattern", "uniform");
+  if (exp::pattern_uses_seed(pattern_kind)) run.pattern_seed = config.seed;
+
+  exp::print_run(run);
+  std::printf(
+      "perf: %.0f sim cycles/s, mean hops %.3f, peak VC occupancy %d\n",
+      run.perf.cycles_per_sec, run.perf.mean_hop_count,
+      run.perf.peak_vc_occupancy);
 
   const std::string csv = args.str_or("csv", "");
-  if (!csv.empty() && !table.write_csv(csv)) {
+  if (!csv.empty() && !exp::sweep_table(run).write_csv(csv)) {
     std::fprintf(stderr, "cannot write %s\n", csv.c_str());
     return 1;
   }
-
-  for (const auto& key : args.unused_keys()) {
-    std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
-  }
-  return 0;
+  exp::ResultLog log;
+  log.add(std::move(run));
+  return exp::finish(args, log, "pf_sim");
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 // competitive in latency and bandwidth" citing prior studies; this bench
 // regenerates the evidence: at similar router counts they need several
 // times PolarFly's hop count (torus/hypercube) or its radix (HyperX), and
-// saturate lower under uniform traffic.
+// saturate lower under uniform traffic. --json <path> emits RunRecords.
 #include <cstdio>
 
 #include "common.hpp"
@@ -12,63 +12,50 @@
 #include "topo/hyperx.hpp"
 #include "topo/torus.hpp"
 
-namespace {
-
-pf::bench::NetSetup make_setup(const std::string& name, pf::graph::Graph g,
-                               int p) {
-  pf::bench::NetSetup setup;
-  setup.name = name;
-  setup.graph = std::move(g);
-  setup.endpoints =
-      pf::sim::uniform_endpoints(setup.graph.num_vertices(), p);
-  setup.oracle = std::make_unique<pf::sim::DistanceOracle>(setup.graph);
-  return setup;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace pf;
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
   // Comparable router counts: reduced scale targets ~180-220 routers
   // (PF q=13: 183), full scale ~990-1030 (PF q=31: 993).
   std::vector<bench::NetSetup> setups;
   if (bench::full_scale()) {
     setups.push_back(bench::make_polarfly_setup(31, 16));       // 993 @ 32
-    setups.push_back(make_setup("Torus3D", topo::Torus(10, 3).graph(),
-                                3));                            // 1000 @ 6
-    setups.push_back(make_setup("Hypercube", topo::Hypercube(10).graph(),
-                                5));                            // 1024 @ 10
-    setups.push_back(make_setup("HyperX", topo::HyperX(32, 32).graph(),
-                                16));                           // 1024 @ 62
+    setups.push_back(bench::make_graph_setup(
+        "Torus3D", topo::Torus(10, 3).graph(), 3));             // 1000 @ 6
+    setups.push_back(bench::make_graph_setup(
+        "Hypercube", topo::Hypercube(10).graph(), 5));          // 1024 @ 10
+    setups.push_back(bench::make_graph_setup(
+        "HyperX", topo::HyperX(32, 32).graph(), 16));           // 1024 @ 62
   } else {
     setups.push_back(bench::make_polarfly_setup(13, 7));        // 183 @ 14
-    setups.push_back(make_setup("Torus3D", topo::Torus(6, 3).graph(),
-                                3));                            // 216 @ 6
-    setups.push_back(make_setup("Hypercube", topo::Hypercube(8).graph(),
-                                4));                            // 256 @ 8
-    setups.push_back(make_setup("HyperX", topo::HyperX(14, 14).graph(),
-                                7));                            // 196 @ 26
+    setups.push_back(bench::make_graph_setup(
+        "Torus3D", topo::Torus(6, 3).graph(), 3));              // 216 @ 6
+    setups.push_back(bench::make_graph_setup(
+        "Hypercube", topo::Hypercube(8).graph(), 4));           // 256 @ 8
+    setups.push_back(bench::make_graph_setup(
+        "HyperX", topo::HyperX(14, 14).graph(), 7));            // 196 @ 26
   }
+  exp::ResultLog log;
 
   util::print_banner("classic direct topologies vs PolarFly, uniform, MIN");
   util::Table table({"network", "routers", "radix", "diameter", "avg_hops",
                      "saturation", "latency @ 0.2"});
   for (const auto& setup : setups) {
     const auto distances = graph::all_pairs_stats(setup.graph);
-    const sim::MinimalRouting routing(setup.graph, *setup.oracle);
-    const sim::UniformTraffic pattern(setup.terminals());
+    const auto routing = bench::make_routing(setup, "MIN");
+    const auto pattern = bench::make_pattern(setup, "uniform", 0);
     // Long-diameter topologies need one VC class per hop; keep >= 2
     // sub-VCs per class so head-of-line blocking is comparable across
     // networks.
     sim::SimConfig config = bench::bench_sim_config();
     config.vcs = std::max(config.vcs, 2 * distances.diameter);
-    const auto sweep = sim::sweep_loads(
-        setup.graph, setup.endpoints, routing, pattern, config,
-        sim::load_steps(0.2, 1.0, 5), setup.name);
+    auto run = exp::run_sweep(setup, *routing, *pattern, config,
+                              sim::load_steps(0.2, 1.0, 5), setup.name);
     table.row(setup.name, setup.graph.num_vertices(),
               graph::degree_stats(setup.graph).max, distances.diameter,
-              distances.avg_path_length, sweep.saturation(),
-              sweep.points.front().avg_latency);
+              distances.avg_path_length, run.saturation(),
+              run.points.front().avg_latency);
+    log.add(std::move(run));
   }
   table.print();
   std::printf(
@@ -76,5 +63,5 @@ int main() {
       "hypercube pay their distance in both latency and per-link load\n"
       "(SS VIII-A's exclusion), while HyperX needs ~2x the radix for the\n"
       "same diameter (Fig. 2's Moore-efficiency gap).\n");
-  return 0;
+  return bench::finish(args, log, "ablation_classic_topos");
 }

@@ -2,20 +2,22 @@
 // failures raise the diameter (2 -> 3/4, Fig. 14); table-based routing
 // recomputed on the surviving graph keeps the network serving traffic with
 // modest latency/throughput loss — the operational complement to the
-// purely structural resilience figure.
+// purely structural resilience figure. --json <path> emits RunRecords.
 #include <cstdio>
 
 #include "common.hpp"
 #include "graph/algos.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pf;
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
   const std::uint32_t q = bench::full_scale() ? 31 : 13;
   const int p = bench::full_scale() ? 16 : 7;
   const core::PolarFly pf(q);
   std::printf("PolarFly q=%u (%d routers), uniform traffic\n", q,
               pf.num_vertices());
+  exp::ResultLog log;
 
   util::print_banner("performance vs failed-link fraction");
   util::Table table({"failed", "diameter", "routing", "saturation",
@@ -32,19 +34,18 @@ int main() {
     }
     const auto stats = graph::all_pairs_stats(damaged);
 
-    bench::NetSetup setup;
-    setup.name = "PF-damaged";
-    setup.graph = damaged;
-    setup.endpoints = sim::uniform_endpoints(damaged.num_vertices(), p);
-    setup.oracle = std::make_unique<sim::DistanceOracle>(damaged);
-    const sim::UniformTraffic pattern(setup.terminals());
+    const auto setup = bench::make_graph_setup(
+        "PF-" + std::to_string(pct) + "pct", damaged, p);
+    const auto pattern = bench::make_pattern(setup, "uniform", 0);
     for (const char* kind : {"MIN", "UGALPF"}) {
       const auto routing = bench::make_routing(setup, kind);
-      const auto sweep = sim::sweep_loads(
-          setup.graph, setup.endpoints, *routing, pattern,
-          bench::bench_sim_config(), sim::load_steps(0.3, 0.9, 4), "dmg");
-      table.row(pct / 100.0, stats.diameter, kind, sweep.saturation(),
-                sweep.points.front().avg_latency);
+      auto run = exp::run_sweep(setup, *routing, *pattern,
+                                bench::bench_sim_config(),
+                                sim::load_steps(0.3, 0.9, 4),
+                                setup.name + "-" + kind);
+      table.row(pct / 100.0, stats.diameter, kind, run.saturation(),
+                run.points.front().avg_latency);
+      log.add(std::move(run));
     }
   }
   table.print();
@@ -52,5 +53,5 @@ int main() {
       "\nRouting tables are recomputed on the surviving graph (the paper's "
       "table-based scheme); minimal paths lengthen\nwith the diameter but "
       "the Theta(q^2) path diversity keeps both schemes serving traffic.\n");
-  return 0;
+  return bench::finish(args, log, "ablation_failed_links");
 }

@@ -1,37 +1,39 @@
 // Ablation: the UGAL-PF adaptation threshold (SS VII-C uses 2/3). Low
 // thresholds adapt eagerly (UGAL-like detours, lower min-path utilization
 // on friendly traffic); high thresholds cling to minimal paths and starve
-// under adversarial patterns.
+// under adversarial patterns. The threshold flows through the scenario
+// layer's RoutingOptions — the same knob pf_sim exposes as
+// --ugal-threshold. --json <path> emits one RunRecord per threshold.
 #include <cstdio>
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pf;
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
   const std::uint32_t q = bench::full_scale() ? 31 : 13;
   const int p = bench::full_scale() ? 16 : 7;
   auto setup = bench::make_polarfly_setup(q, p);
   std::printf("PolarFly q=%u, p=%d\n", q, p);
+  exp::ResultLog log;
 
-  const sim::UniformTraffic uniform(setup.terminals());
-  const auto tornado = sim::PermutationTraffic::tornado(setup.terminals());
   const auto loads = sim::load_steps(0.2, 1.0, 5);
-
-  for (const auto* pattern :
-       std::initializer_list<const sim::TrafficPattern*>{&uniform,
-                                                         &tornado}) {
+  for (const char* pattern_kind : {"uniform", "tornado"}) {
+    const auto pattern = bench::make_pattern(setup, pattern_kind, 0);
     util::print_banner("UGAL-PF threshold sweep - " + pattern->name() +
                        " traffic");
     util::Table table({"threshold", "saturation", "latency @ 0.2 load"});
     for (const double threshold : {0.0, 1.0 / 3, 0.5, 2.0 / 3, 5.0 / 6,
                                    1.01}) {
-      const sim::UgalRouting routing(setup.graph, *setup.oracle, true,
-                                     threshold);
-      const auto sweep =
-          sim::sweep_loads(setup.graph, setup.endpoints, routing, *pattern,
-                           bench::bench_sim_config(), loads, "thr");
-      table.row(threshold, sweep.saturation(),
-                sweep.points.front().avg_latency);
+      const auto routing =
+          bench::make_routing(setup, "UGALPF", {threshold});
+      auto run = exp::run_sweep(setup, *routing, *pattern,
+                                bench::bench_sim_config(), loads,
+                                std::string(pattern_kind) + " thr=" +
+                                    std::to_string(threshold));
+      table.row(threshold, run.saturation(),
+                run.points.front().avg_latency);
+      log.add(std::move(run));
     }
     table.print();
   }
@@ -39,5 +41,5 @@ int main() {
       "\nthreshold > 1 never detours (pure MIN); threshold 0 always "
       "considers the compact-Valiant candidate.\nThe paper's 2/3 balances "
       "uniform-traffic path length against adversarial adaptivity.\n");
-  return 0;
+  return bench::finish(args, log, "ablation_ugal_threshold");
 }

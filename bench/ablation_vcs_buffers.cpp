@@ -1,19 +1,22 @@
 // Ablation: virtual-channel count and buffer depth. With hop-class VCs,
 // the sub-VCs per class control head-of-line blocking: one sub-VC caps
 // uniform saturation near the classic 58.6% input-queued FIFO limit; more
-// sub-VCs approach the paper's ~95%.
+// sub-VCs approach the paper's ~95%. --json <path> emits one RunRecord
+// per configuration.
 #include <cstdio>
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pf;
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
   const std::uint32_t q = bench::full_scale() ? 31 : 13;
   const int p = bench::full_scale() ? 16 : 7;
   auto setup = bench::make_polarfly_setup(q, p);
-  const sim::UniformTraffic pattern(setup.terminals());
-  const sim::MinimalRouting routing(setup.graph, *setup.oracle);
+  const auto pattern = bench::make_pattern(setup, "uniform", 0);
+  const auto routing = bench::make_routing(setup, "MIN");
   std::printf("PolarFly q=%u, p=%d, uniform traffic, MIN routing\n", q, p);
+  exp::ResultLog log;
 
   util::print_banner("saturation vs VCs and buffer depth");
   util::Table table({"vcs (config)", "buf/port", "sub-VCs/class",
@@ -23,13 +26,15 @@ int main() {
       sim::SimConfig config = bench::bench_sim_config();
       config.vcs = vcs;
       config.buf_per_port = buf;
-      const auto sweep = sim::sweep_loads(
-          setup.graph, setup.endpoints, routing, pattern, config,
-          sim::load_steps(0.3, 1.0, 4), "vc");
-      table.row(vcs, buf, std::max(1, vcs / 2), sweep.saturation(),
-                sweep.points.front().avg_latency);
+      auto run = exp::run_sweep(setup, *routing, *pattern, config,
+                                sim::load_steps(0.3, 1.0, 4),
+                                "vcs=" + std::to_string(vcs) +
+                                    " buf=" + std::to_string(buf));
+      table.row(vcs, buf, std::max(1, vcs / 2), run.saturation(),
+                run.points.front().avg_latency);
+      log.add(std::move(run));
     }
   }
   table.print();
-  return 0;
+  return bench::finish(args, log, "ablation_vcs_buffers");
 }

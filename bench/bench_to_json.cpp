@@ -1,0 +1,128 @@
+// bench_to_json — aggregate the per-binary --json outputs into one
+// BENCH_*.json trajectory document:
+//
+//   bench_to_json --out BENCH_all.json fig08.json fig10.json ...
+//
+// Each input must be a JSON document (as emitted via --json or Google
+// Benchmark's --benchmark_out); it is embedded verbatim under its
+// basename, so downstream tooling can track per-bench trajectories
+// across commits from a single artifact.
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_to_json --out <path> <run.json> [...]\n");
+  return 2;
+}
+
+/// Cheap structural sanity check: a JSON document starts with { or [,
+/// its braces/brackets balance outside of strings, and nothing but
+/// whitespace follows the first top-level value (rejects concatenated
+/// documents, which would corrupt the aggregate when embedded verbatim).
+bool looks_like_json(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(
+                                text[i]))) {
+    ++i;
+  }
+  if (i == text.size() || (text[i] != '{' && text[i] != '[')) return false;
+  long depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool closed = false;  // first top-level value fully consumed
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (closed && !std::isspace(static_cast<unsigned char>(c))) {
+      return false;  // trailing content after the document
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth == 0) closed = true;
+    }
+    if (depth < 0) return false;
+  }
+  return closed && !in_string;
+}
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) return usage();
+
+  pf::util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("polarfly-bench-aggregate/1");
+  json.key("runs").begin_array();
+  int failures = 0;
+  for (const auto& path : inputs) {
+    std::string content;
+    if (!pf::util::read_text_file(path, content)) {
+      std::fprintf(stderr, "bench_to_json: cannot read %s\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    if (!looks_like_json(content)) {
+      std::fprintf(stderr, "bench_to_json: %s is not valid JSON, skipped\n",
+                   path.c_str());
+      ++failures;
+      continue;
+    }
+    // Strip trailing whitespace so the embedding stays tidy.
+    while (!content.empty() &&
+           std::isspace(static_cast<unsigned char>(content.back()))) {
+      content.pop_back();
+    }
+    json.begin_object();
+    json.key("file").value(basename_of(path));
+    json.key("data").raw(content);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  if (!pf::util::write_text_file(out_path, json.str() + "\n")) {
+    std::fprintf(stderr, "bench_to_json: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("bench_to_json: wrote %zu run(s) to %s\n",
+              inputs.size() - static_cast<std::size_t>(failures),
+              out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}

@@ -1,30 +1,36 @@
-// Shared scaffolding for the bench binaries: the simulated network
-// configurations of Tab. V (full scale) and their reduced-scale twins used
-// by default so the whole bench/ directory completes in minutes, plus
-// sweep-printing helpers.
+// Thin shims for the bench binaries over the src/exp experiment engine:
+// the NetSetup bundle, topology factories and routing/pattern factories
+// live in exp/scenario.{hpp,cpp}; this header only keeps the bench-local
+// conveniences — the reduced/full scale switch, the shared SimConfig of
+// the Tab. V runs, sweep printing, and --json handling.
 //
 // Set PF_BENCH_FULL=1 to run the paper-scale configurations.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/polarfly.hpp"
-#include "graph/graph.hpp"
+#include "exp/engine.hpp"
+#include "exp/results.hpp"
+#include "exp/scenario.hpp"
 #include "sim/harness.hpp"
-#include "sim/network.hpp"
-#include "sim/routing.hpp"
-#include "sim/traffic.hpp"
-#include "topo/dragonfly.hpp"
-#include "topo/fattree.hpp"
-#include "topo/jellyfish.hpp"
-#include "topo/slimfly.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace pf::bench {
+
+// Scenario-layer shims (bench::X spelled like before the exp/ move).
+using exp::NetSetup;
+using exp::make_dragonfly_setup;
+using exp::make_fattree_setup;
+using exp::make_graph_setup;
+using exp::make_jellyfish_setup;
+using exp::make_pattern;
+using exp::make_polarfly_setup;
+using exp::make_routing;
+using exp::make_slimfly_setup;
 
 inline bool full_scale() {
   const char* env = std::getenv("PF_BENCH_FULL");
@@ -51,123 +57,9 @@ inline sim::SimConfig bench_sim_config() {
   return config;
 }
 
-/// One simulated network: topology graph + endpoint placement + the state
-/// routing algorithms need.
-struct NetSetup {
-  std::string name;
-  graph::Graph graph;
-  std::vector<int> endpoints;
-  std::unique_ptr<sim::DistanceOracle> oracle;
-  std::unique_ptr<topo::FatTree> fattree;  ///< set for the FT setup only
-
-  std::vector<int> terminals() const {
-    return sim::terminal_routers(endpoints);
-  }
-};
-
-inline NetSetup make_polarfly_setup(std::uint32_t q, int p,
-                                    const std::string& name = "PF") {
-  NetSetup setup;
-  setup.name = name;
-  const core::PolarFly pf(q);
-  setup.graph = pf.graph();
-  setup.endpoints = sim::uniform_endpoints(setup.graph.num_vertices(), p);
-  setup.oracle = std::make_unique<sim::DistanceOracle>(setup.graph);
-  return setup;
-}
-
-inline NetSetup make_slimfly_setup(std::uint32_t q, int p) {
-  NetSetup setup;
-  setup.name = "SF";
-  const topo::SlimFly sf(q);
-  setup.graph = sf.graph();
-  setup.endpoints = sim::uniform_endpoints(setup.graph.num_vertices(), p);
-  setup.oracle = std::make_unique<sim::DistanceOracle>(setup.graph);
-  return setup;
-}
-
-inline NetSetup make_dragonfly_setup(int a, int h, int p,
-                                     const std::string& name) {
-  NetSetup setup;
-  setup.name = name;
-  const topo::Dragonfly df(a, h, p);
-  setup.graph = df.graph();
-  setup.endpoints = sim::uniform_endpoints(setup.graph.num_vertices(), p);
-  setup.oracle = std::make_unique<sim::DistanceOracle>(setup.graph);
-  return setup;
-}
-
-inline NetSetup make_jellyfish_setup(int n, int k, int p,
-                                     std::uint64_t seed = 0xf15eULL) {
-  NetSetup setup;
-  setup.name = "JF";
-  const topo::Jellyfish jf(n, k, seed);
-  setup.graph = jf.graph();
-  setup.endpoints = sim::uniform_endpoints(setup.graph.num_vertices(), p);
-  setup.oracle = std::make_unique<sim::DistanceOracle>(setup.graph);
-  return setup;
-}
-
-inline NetSetup make_fattree_setup(int levels, int arity) {
-  NetSetup setup;
-  setup.name = "FT";
-  setup.fattree = std::make_unique<topo::FatTree>(levels, arity);
-  setup.graph = setup.fattree->graph();
-  setup.endpoints.assign(setup.graph.num_vertices(), 0);
-  for (int leaf = 0; leaf < setup.fattree->switches_per_level(); ++leaf) {
-    setup.endpoints[setup.fattree->switch_id(0, leaf)] =
-        setup.fattree->arity();
-  }
-  return setup;
-}
-
 /// The Tab. V configuration set (or its reduced-scale twin).
 inline std::vector<NetSetup> make_table5_setups() {
-  std::vector<NetSetup> setups;
-  if (full_scale()) {
-    setups.push_back(make_polarfly_setup(31, 16));        // 993 @ 32
-    setups.push_back(make_slimfly_setup(23, 18));         // 1058 @ 35
-    setups.push_back(make_dragonfly_setup(12, 6, 6, "DF1"));   // 876 @ 17
-    setups.push_back(make_dragonfly_setup(6, 27, 10, "DF2"));  // 978 @ 32
-    setups.push_back(make_jellyfish_setup(993, 32, 16));  // 993 @ 32
-    setups.push_back(make_fattree_setup(3, 18));          // 972 switches
-  } else {
-    setups.push_back(make_polarfly_setup(13, 7));         // 183 @ 14
-    setups.push_back(make_slimfly_setup(11, 8));          // 242 @ 16
-    setups.push_back(make_dragonfly_setup(6, 3, 3, "DF1"));    // 114 @ 8
-    setups.push_back(make_dragonfly_setup(4, 11, 5, "DF2"));   // 180 @ 14
-    setups.push_back(make_jellyfish_setup(183, 14, 7));   // 183 @ 14
-    setups.push_back(make_fattree_setup(3, 6));           // 108 switches
-  }
-  return setups;
-}
-
-/// Routing algorithm factory over a setup.
-inline std::unique_ptr<sim::RoutingAlgorithm> make_routing(
-    const NetSetup& setup, const std::string& kind) {
-  if (kind == "NCA") {
-    return std::make_unique<sim::FatTreeNcaRouting>(*setup.fattree);
-  }
-  if (kind == "MIN") {
-    return std::make_unique<sim::MinimalRouting>(setup.graph, *setup.oracle);
-  }
-  if (kind == "VAL") {
-    return std::make_unique<sim::ValiantRouting>(setup.graph, *setup.oracle);
-  }
-  if (kind == "CVAL") {
-    return std::make_unique<sim::CompactValiantRouting>(setup.graph,
-                                                        *setup.oracle);
-  }
-  if (kind == "UGAL") {
-    return std::make_unique<sim::UgalRouting>(setup.graph, *setup.oracle,
-                                              false);
-  }
-  if (kind == "UGALPF") {
-    return std::make_unique<sim::UgalRouting>(setup.graph, *setup.oracle,
-                                              true, 2.0 / 3.0);
-  }
-  std::fprintf(stderr, "unknown routing %s\n", kind.c_str());
-  std::abort();
+  return exp::make_table5_setups(full_scale());
 }
 
 /// Prints one latency-vs-load series as a table section.
@@ -184,8 +76,14 @@ inline void print_sweep(const sim::SweepResult& sweep) {
               sweep.saturation());
 }
 
+/// Prints one engine RunRecord the same way (same columns and footer).
+using exp::print_run;
+
 inline std::vector<double> default_loads() {
   return sim::load_steps(0.1, 1.0, full_scale() ? 10 : 8);
 }
+
+/// Shared tail of every bench main() — see exp::finish.
+using exp::finish;
 
 }  // namespace pf::bench

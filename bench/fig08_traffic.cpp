@@ -2,7 +2,7 @@
 // under (a) uniform/minimal, (b) uniform/adaptive, (c) random permutation,
 // (d) tornado. Default runs reduced-scale twins of the Tab. V
 // configurations (PF_BENCH_FULL=1 for paper scale); see EXPERIMENTS.md for
-// the shape comparison.
+// the shape comparison. --json <path> emits the sweeps as RunRecords.
 #include <cstdio>
 
 #include "common.hpp"
@@ -12,7 +12,7 @@ namespace {
 using namespace pf;
 using bench::NetSetup;
 
-void run_series(const std::vector<NetSetup>& setups,
+void run_series(exp::ResultLog& log, const std::vector<NetSetup>& setups,
                 const std::string& pattern_kind,
                 const std::vector<std::pair<std::string, std::string>>&
                     series /* (setup name, routing) */) {
@@ -24,33 +24,28 @@ void run_series(const std::vector<NetSetup>& setups,
     }
     if (setup == nullptr) continue;
     const auto routing = bench::make_routing(*setup, routing_kind);
-    std::unique_ptr<sim::TrafficPattern> pattern;
-    if (pattern_kind == "uniform") {
-      pattern = std::make_unique<sim::UniformTraffic>(setup->terminals());
-    } else if (pattern_kind == "random_perm") {
-      pattern = std::make_unique<sim::PermutationTraffic>(
-          sim::PermutationTraffic::random(setup->terminals(), 0xfeedULL));
-    } else {
-      pattern = std::make_unique<sim::PermutationTraffic>(
-          sim::PermutationTraffic::tornado(setup->terminals()));
-    }
-    const auto sweep =
-        sim::sweep_loads(setup->graph, setup->endpoints, *routing, *pattern,
-                         bench::bench_sim_config(), loads,
-                         name + "-" + routing->name());
-    bench::print_sweep(sweep);
+    const auto pattern =
+        bench::make_pattern(*setup, pattern_kind, 0xfeedULL);
+    auto run = exp::run_sweep(*setup, *routing, *pattern,
+                              bench::bench_sim_config(), loads,
+                              name + "-" + routing->name());
+    if (exp::pattern_uses_seed(pattern_kind)) run.pattern_seed = 0xfeedULL;
+    bench::print_run(run);
+    log.add(std::move(run));
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
   const auto setups = bench::make_table5_setups();
   std::printf("scale: %s (set PF_BENCH_FULL=1 for Tab. V scale)\n",
               bench::full_scale() ? "paper (Tab. V)" : "reduced");
+  exp::ResultLog log;
 
   util::print_banner("Fig. 8a - uniform traffic, minimal routing");
-  run_series(setups, "uniform",
+  run_series(log, setups, "uniform",
              {{"PF", "MIN"},
               {"SF", "MIN"},
               {"DF1", "MIN"},
@@ -59,7 +54,7 @@ int main() {
               {"JF", "MIN"}});
 
   util::print_banner("Fig. 8b - uniform traffic, adaptive routing");
-  run_series(setups, "uniform",
+  run_series(log, setups, "uniform",
              {{"PF", "UGAL"},
               {"PF", "UGALPF"},
               {"SF", "UGAL"},
@@ -69,7 +64,7 @@ int main() {
               {"JF", "UGAL"}});
 
   util::print_banner("Fig. 8c - random permutation traffic");
-  run_series(setups, "random_perm",
+  run_series(log, setups, "randperm",
              {{"PF", "UGAL"},
               {"PF", "UGALPF"},
               {"SF", "UGAL"},
@@ -79,7 +74,7 @@ int main() {
               {"JF", "UGAL"}});
 
   util::print_banner("Fig. 8d - tornado permutation traffic");
-  run_series(setups, "tornado",
+  run_series(log, setups, "tornado",
              {{"PF", "UGAL"},
               {"PF", "UGALPF"},
               {"SF", "UGAL"},
@@ -87,5 +82,5 @@ int main() {
               {"DF2", "UGAL"},
               {"FT", "NCA"},
               {"JF", "UGAL"}});
-  return 0;
+  return bench::finish(args, log, "fig08_traffic");
 }

@@ -1,38 +1,41 @@
 // Fig. 9: PolarFly under the special permutation patterns Perm2Hop (every
 // router talks to a 2-hop neighbor: minimal paths are 2 hops, compact
 // Valiant detours 3) and Perm1Hop (1-hop destinations, detours cost 4),
-// comparing MIN, UGAL and UGAL-PF.
+// comparing MIN, UGAL and UGAL-PF. --json <path> emits RunRecords.
 #include <cstdio>
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pf;
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
   const std::uint32_t q = bench::full_scale() ? 31 : 13;
   const int p = bench::full_scale() ? 16 : 7;
   auto setup = bench::make_polarfly_setup(q, p);
   std::printf("PolarFly q=%u, p=%d (%d routers)\n", q, p,
               setup.graph.num_vertices());
+  exp::ResultLog log;
 
   const auto loads = sim::load_steps(0.05, 0.7, bench::full_scale() ? 10 : 8);
   for (const int distance : {2, 1}) {
     util::print_banner("Fig. 9" + std::string(distance == 2 ? "a" : "b") +
                        " - Perm" + std::to_string(distance) +
                        "Hop permutation traffic");
-    const auto pattern = sim::PermutationTraffic::at_distance(
-        setup.graph, setup.terminals(), distance, 0xd15cULL);
+    const auto pattern = bench::make_pattern(
+        setup, distance == 2 ? "perm2hop" : "perm1hop", 0xd15cULL);
     for (const char* kind : {"MIN", "UGAL", "UGALPF"}) {
       const auto routing = bench::make_routing(setup, kind);
-      const auto sweep = sim::sweep_loads(
-          setup.graph, setup.endpoints, *routing, pattern,
-          bench::bench_sim_config(), loads,
-          "PF-" + std::string(kind) + " (" + pattern.name() + ")");
-      bench::print_sweep(sweep);
+      auto run = exp::run_sweep(
+          setup, *routing, *pattern, bench::bench_sim_config(), loads,
+          "PF-" + std::string(kind) + " (" + pattern->name() + ")");
+      run.pattern_seed = 0xd15cULL;
+      bench::print_run(run);
+      log.add(std::move(run));
     }
   }
   std::printf(
       "\nPaper: min-path withstands only ~1/p of injection bandwidth under "
       "permutations; UGAL sustains ~50%%.\nUGAL_PF adapts more slowly on "
       "2-hop patterns (deeper min-path buffers), matching Fig. 9a.\n");
-  return 0;
+  return bench::finish(args, log, "fig09_adaptive_perm");
 }

@@ -1,18 +1,20 @@
 // Fig. 10: PolarFly performance across network sizes under uniform
 // traffic. Balanced configurations keep endpoints : radix at 1 : 2, and
 // latency/saturation stay essentially flat with size — the scaling
-// stability claim.
+// stability claim. --json <path> emits RunRecords.
 #include <cstdio>
 #include <vector>
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pf;
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
   const std::vector<std::uint32_t> orders =
       bench::full_scale() ? std::vector<std::uint32_t>{13, 19, 25, 31}
                           : std::vector<std::uint32_t>{7, 9, 11, 13};
   const auto loads = bench::default_loads();
+  exp::ResultLog log;
 
   for (const char* kind : {"MIN", "UGALPF"}) {
     util::print_banner(std::string("Fig. 10 - uniform traffic, ") + kind +
@@ -21,15 +23,15 @@ int main() {
       const int p = (q + 1) / 2;  // balanced 1:2 endpoints : radix
       auto setup = bench::make_polarfly_setup(
           q, p, "PF" + std::to_string(q));
-      const sim::UniformTraffic pattern(setup.terminals());
+      const auto pattern = bench::make_pattern(setup, "uniform", 0);
       const auto routing = bench::make_routing(setup, kind);
-      const auto sweep = sim::sweep_loads(
-          setup.graph, setup.endpoints, *routing, pattern,
-          bench::bench_sim_config(), loads,
+      auto run = exp::run_sweep(
+          setup, *routing, *pattern, bench::bench_sim_config(), loads,
           setup.name + "-" + kind + " (" +
               std::to_string(setup.graph.num_vertices()) + " routers)");
-      bench::print_sweep(sweep);
+      bench::print_run(run);
+      log.add(std::move(run));
     }
   }
-  return 0;
+  return bench::finish(args, log, "fig10_size_scaling");
 }

@@ -7,7 +7,11 @@
 
 #include "common.hpp"
 #include "graph/partition.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/fattree.hpp"
 #include "topo/hyperx.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/slimfly.hpp"
 
 namespace {
 

@@ -1,5 +1,7 @@
 // Microbenchmarks: simulator throughput (cycles/second at a moderate load)
 // and minimal-path sampling rate — the hot paths behind Figs. 8-11.
+// BM_SimulatorCyclesUgalPf/13 is the acceptance config of the experiment-
+// engine refactor: reduced-scale PF q=13, UGAL-PF, uniform, load 0.5.
 #include <benchmark/benchmark.h>
 
 #include "core/polarfly.hpp"
@@ -11,6 +13,14 @@
 
 namespace {
 
+pf::sim::SimConfig micro_config() {
+  pf::sim::SimConfig config;
+  config.warmup_cycles = 200;
+  config.measure_cycles = 800;
+  config.drain_cycles = 0;
+  return config;
+}
+
 void BM_SimulatorCycles(benchmark::State& state) {
   const pf::core::PolarFly pf(static_cast<std::uint32_t>(state.range(0)));
   const pf::sim::DistanceOracle oracle(pf.graph());
@@ -21,12 +31,8 @@ void BM_SimulatorCycles(benchmark::State& state) {
       pf::sim::terminal_routers(endpoints));
   std::int64_t cycles = 0;
   for (auto _ : state) {
-    pf::sim::SimConfig config;
-    config.warmup_cycles = 200;
-    config.measure_cycles = 800;
-    config.drain_cycles = 0;
     const auto stats = pf::sim::simulate(pf.graph(), endpoints, routing,
-                                         pattern, config, 0.5);
+                                         pattern, micro_config(), 0.5);
     benchmark::DoNotOptimize(stats.accepted_load);
     cycles += 1000;
   }
@@ -34,6 +40,33 @@ void BM_SimulatorCycles(benchmark::State& state) {
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorCycles)->Arg(9)->Arg(13)->Arg(19);
+
+// The engine's sweep path: one Network reused via reset() per point, the
+// adaptive UGAL-PF scheme reading live congestion state. Matches the
+// acceptance criterion config of the experiment-engine refactor.
+void BM_SimulatorCyclesUgalPf(benchmark::State& state) {
+  const pf::core::PolarFly pf(static_cast<std::uint32_t>(state.range(0)));
+  const pf::sim::DistanceOracle oracle(pf.graph());
+  const pf::sim::UgalRouting routing(pf.graph(), oracle, true, 2.0 / 3.0);
+  const auto endpoints =
+      pf::sim::uniform_endpoints(pf.num_vertices(), (pf.radix() + 1) / 2);
+  const pf::sim::UniformTraffic pattern(
+      pf::sim::terminal_routers(endpoints));
+  pf::sim::Network net(pf.graph(), endpoints, routing, pattern,
+                       micro_config(), 0.5);
+  std::int64_t cycles = 0;
+  bool first = true;
+  for (auto _ : state) {
+    if (!first) net.reset(0.5);
+    first = false;
+    net.run_phases();
+    benchmark::DoNotOptimize(net.accepted_load());
+    cycles += net.current_cycle();
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorCyclesUgalPf)->Arg(13);
 
 void BM_MinPathSample(benchmark::State& state) {
   const pf::core::PolarFly pf(31);

@@ -1,0 +1,184 @@
+#include "exp/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/parallel.hpp"
+
+namespace pf::exp {
+namespace {
+
+RunRecord make_record(const NetSetup& setup,
+                      const sim::RoutingAlgorithm& routing,
+                      const sim::TrafficPattern& pattern,
+                      const sim::SimConfig& config,
+                      const std::string& label) {
+  RunRecord record;
+  record.label = label;
+  record.topology = setup.name;
+  record.routing = routing.name();
+  record.pattern = pattern.name();
+  record.routers = setup.graph.num_vertices();
+  record.terminals = pattern.num_terminals();
+  record.seed = config.seed;
+  return record;
+}
+
+/// Runs one point on `net` (already reset to the right load) and folds
+/// the network's counters into the record-level aggregates.
+RunPoint run_point(sim::Network& net, std::int64_t& hops,
+                   std::int64_t& delivered, int& peak_vc) {
+  net.run_phases();
+  RunPoint point;
+  point.offered = net.offered_load();
+  point.accepted = net.accepted_load();
+  point.avg_latency = net.avg_latency();
+  point.p99_latency = net.p99_latency();
+  point.converged = net.converged();
+  point.mean_hops = net.mean_hops();
+  point.cycles = net.current_cycle();
+  hops += net.measured_hops();
+  delivered += net.delivered_packets();
+  peak_vc = std::max(peak_vc, net.peak_vc_packets());
+  return point;
+}
+
+void finish_perf(RunRecord& record, std::int64_t hops,
+                 std::int64_t delivered, int peak_vc, double wall_seconds) {
+  for (const auto& point : record.points) {
+    record.perf.sim_cycles += point.cycles;
+  }
+  record.perf.wall_seconds = wall_seconds;
+  record.perf.cycles_per_sec =
+      wall_seconds > 0.0
+          ? static_cast<double>(record.perf.sim_cycles) / wall_seconds
+          : 0.0;
+  record.perf.mean_hop_count =
+      delivered > 0 ? static_cast<double>(hops) /
+                          static_cast<double>(delivered)
+                    : 0.0;
+  record.perf.peak_vc_occupancy = peak_vc;
+}
+
+}  // namespace
+
+double RunRecord::saturation() const {
+  double best = 0.0;
+  for (const auto& point : points) best = std::max(best, point.accepted);
+  return best;
+}
+
+RunRecord run_sweep(const NetSetup& setup,
+                    const sim::RoutingAlgorithm& routing,
+                    const sim::TrafficPattern& pattern,
+                    const sim::SimConfig& config,
+                    const std::vector<double>& loads,
+                    const std::string& label) {
+  RunRecord record = make_record(setup, routing, pattern, config, label);
+  record.points.resize(loads.size());
+
+  // One Network per worker, rewound between its points: loads.size()
+  // simulations share max `workers` channel-index constructions, and a
+  // reset network is bit-identical to a fresh one.
+  const std::size_t workers =
+      std::min<std::size_t>(loads.size(),
+                            util::ThreadPool::shared().num_threads());
+  std::vector<std::int64_t> hops(workers, 0), delivered(workers, 0);
+  std::vector<int> peaks(workers, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  util::parallel_for(0, workers, [&](std::size_t w) {
+    sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
+                     loads[w]);
+    for (std::size_t i = w; i < loads.size(); i += workers) {
+      if (i != w) net.reset(loads[i]);
+      record.points[i] = run_point(net, hops[w], delivered[w], peaks[w]);
+    }
+  });
+  const auto stop = std::chrono::steady_clock::now();
+
+  std::int64_t total_hops = 0, total_delivered = 0;
+  int peak_vc = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    total_hops += hops[w];
+    total_delivered += delivered[w];
+    peak_vc = std::max(peak_vc, peaks[w]);
+  }
+  finish_perf(record, total_hops, total_delivered, peak_vc,
+              std::chrono::duration<double>(stop - start).count());
+  return record;
+}
+
+RunRecord run_sweep(const Scenario& scenario,
+                    const std::vector<double>& loads) {
+  return run_sweep(*scenario.setup, *scenario.routing, *scenario.pattern,
+                   scenario.config, loads, scenario.label);
+}
+
+RunRecord saturation_search(const NetSetup& setup,
+                            const sim::RoutingAlgorithm& routing,
+                            const sim::TrafficPattern& pattern,
+                            const sim::SimConfig& config,
+                            const std::string& label, double lo, double hi,
+                            double tol, int max_iters) {
+  RunRecord record = make_record(setup, routing, pattern, config, label);
+  std::int64_t hops = 0, delivered = 0;
+  int peak_vc = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
+                   hi);
+  // By value: points reallocates as probes accumulate, so references
+  // into it would dangle across probe() calls.
+  const auto probe = [&](double load) -> RunPoint {
+    net.reset(load);
+    record.points.push_back(run_point(net, hops, delivered, peak_vc));
+    return record.points.back();
+  };
+  const auto stable = [tol](const RunPoint& point) {
+    return point.accepted >= point.offered - tol;
+  };
+
+  // Bracket: if even `hi` is stable the plateau is above the bracket; if
+  // `lo` is not, it is below. Either way the nearest probe reports it.
+  const RunPoint top = probe(hi);
+  if (stable(top)) {
+    record.saturation_estimate = top.accepted;
+  } else {
+    const RunPoint bottom = probe(lo);
+    if (!stable(bottom)) {
+      record.saturation_estimate = bottom.accepted;
+    } else {
+      double stable_lo = lo, unstable_hi = hi;
+      double plateau = bottom.accepted;
+      for (int i = 0; i < max_iters && unstable_hi - stable_lo > tol; ++i) {
+        const double mid = 0.5 * (stable_lo + unstable_hi);
+        const RunPoint point = probe(mid);
+        if (stable(point)) {
+          stable_lo = mid;
+          plateau = point.accepted;
+        } else {
+          unstable_hi = mid;
+          // Past saturation accepted load IS the plateau estimate; keep
+          // the larger of the two readings.
+          plateau = std::max(plateau, point.accepted);
+        }
+      }
+      record.saturation_estimate = plateau;
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  finish_perf(record, hops, delivered, peak_vc,
+              std::chrono::duration<double>(stop - start).count());
+  return record;
+}
+
+RunRecord saturation_search(const Scenario& scenario, double lo, double hi,
+                            double tol, int max_iters) {
+  return saturation_search(*scenario.setup, *scenario.routing,
+                           *scenario.pattern, scenario.config,
+                           scenario.label, lo, hi, tol, max_iters);
+}
+
+}  // namespace pf::exp

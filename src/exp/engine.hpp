@@ -1,0 +1,93 @@
+// The sweep engine: runs {topology, routing, traffic} scenarios over
+// offered load and returns machine-readable RunRecords with perf
+// counters. Sweep points are distributed over the shared thread pool;
+// each worker owns ONE Network and rewinds it with Network::reset()
+// between its points instead of rebuilding channel indexing per point —
+// results are bit-identical to fresh construction either way. The
+// adaptive saturation search bisects on the accepted-load plateau as an
+// alternative to fixed load grids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "sim/network.hpp"
+
+namespace pf::exp {
+
+/// One simulated load point.
+struct RunPoint {
+  double offered = 0.0;
+  double accepted = 0.0;
+  double avg_latency = 0.0;
+  double p99_latency = 0.0;
+  bool converged = false;
+  double mean_hops = 0.0;     ///< mean hop count of delivered packets
+  std::int64_t cycles = 0;    ///< simulated cycles for this point
+};
+
+/// Aggregate performance counters for one record.
+struct PerfCounters {
+  std::int64_t sim_cycles = 0;   ///< total simulated cycles
+  double wall_seconds = 0.0;
+  double cycles_per_sec = 0.0;   ///< sim_cycles / wall_seconds
+  double mean_hop_count = 0.0;   ///< delivered-weighted over all points
+  int peak_vc_occupancy = 0;     ///< deepest single VC ring, in packets
+};
+
+/// One sweep (or saturation search) with its provenance and counters.
+struct RunRecord {
+  std::string label;
+  std::string topology;
+  std::string routing;
+  std::string pattern;
+  int routers = 0;
+  int terminals = 0;
+  std::uint64_t seed = 0;
+  /// Seed the traffic pattern was built with; 0 for seedless patterns
+  /// (uniform/tornado/bitcomp). Needed to replay seeded permutations.
+  std::uint64_t pattern_seed = 0;
+  std::vector<RunPoint> points;
+  PerfCounters perf;
+  /// Set by saturation_search: bisected accepted-load plateau (0 when the
+  /// record came from a fixed grid; use saturation() there).
+  double saturation_estimate = 0.0;
+
+  /// Largest accepted load over the points (accepted plateaus once
+  /// offered load passes saturation).
+  double saturation() const;
+};
+
+/// Sweeps the given loads. Points are simulated in parallel on the shared
+/// pool; each worker reuses one Network via reset().
+RunRecord run_sweep(const NetSetup& setup,
+                    const sim::RoutingAlgorithm& routing,
+                    const sim::TrafficPattern& pattern,
+                    const sim::SimConfig& config,
+                    const std::vector<double>& loads,
+                    const std::string& label);
+
+RunRecord run_sweep(const Scenario& scenario,
+                    const std::vector<double>& loads);
+
+/// Adaptive saturation search: bisection on the accepted-load plateau.
+/// A load is "stable" while accepted tracks offered within `tol`; the
+/// search brackets the largest stable load in [lo, hi] with at most
+/// `max_iters` probes, reusing one Network via reset(). All probes are
+/// recorded as points (in probe order); the plateau lands in
+/// `saturation_estimate`.
+RunRecord saturation_search(const NetSetup& setup,
+                            const sim::RoutingAlgorithm& routing,
+                            const sim::TrafficPattern& pattern,
+                            const sim::SimConfig& config,
+                            const std::string& label, double lo = 0.05,
+                            double hi = 1.0, double tol = 0.02,
+                            int max_iters = 10);
+
+RunRecord saturation_search(const Scenario& scenario, double lo = 0.05,
+                            double hi = 1.0, double tol = 0.02,
+                            int max_iters = 10);
+
+}  // namespace pf::exp

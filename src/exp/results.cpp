@@ -1,0 +1,110 @@
+#include "exp/results.hpp"
+
+#include <cstdio>
+
+#include "util/json.hpp"
+
+namespace pf::exp {
+
+util::Table sweep_table(const RunRecord& record) {
+  util::Table table(
+      {"offered", "accepted", "avg_latency", "p99_latency", "stable"});
+  for (const auto& point : record.points) {
+    table.row(point.offered, point.accepted, point.avg_latency,
+              point.p99_latency, point.converged ? "yes" : "no");
+  }
+  return table;
+}
+
+void print_run(const RunRecord& record) {
+  util::print_banner(record.label);
+  sweep_table(record).print();
+  if (record.saturation_estimate > 0.0) {
+    std::printf("saturation plateau (bisected, %zu probes): %.3f "
+                "flits/cycle/endpoint\n",
+                record.points.size(), record.saturation_estimate);
+  } else {
+    std::printf("saturation throughput: %.3f flits/cycle/endpoint\n",
+                record.saturation());
+  }
+}
+
+std::string to_json(const std::vector<RunRecord>& records,
+                    const std::string& tool) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("polarfly-run/1");
+  json.key("tool").value(tool);
+  json.key("records").begin_array();
+  for (const auto& record : records) {
+    json.begin_object();
+    json.key("label").value(record.label);
+    json.key("topology").value(record.topology);
+    json.key("routing").value(record.routing);
+    json.key("pattern").value(record.pattern);
+    json.key("routers").value(record.routers);
+    json.key("terminals").value(record.terminals);
+    json.key("seed").value(static_cast<std::uint64_t>(record.seed));
+    if (record.pattern_seed != 0) {
+      json.key("pattern_seed")
+          .value(static_cast<std::uint64_t>(record.pattern_seed));
+    }
+    json.key("saturation").value(record.saturation());
+    if (record.saturation_estimate > 0.0) {
+      json.key("saturation_estimate").value(record.saturation_estimate);
+    }
+    json.key("points").begin_array();
+    for (const auto& point : record.points) {
+      json.begin_object();
+      json.key("offered").value(point.offered);
+      json.key("accepted").value(point.accepted);
+      json.key("avg_latency").value(point.avg_latency);
+      json.key("p99_latency").value(point.p99_latency);
+      json.key("converged").value(point.converged);
+      json.key("mean_hops").value(point.mean_hops);
+      json.key("cycles").value(point.cycles);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("perf").begin_object();
+    json.key("sim_cycles").value(record.perf.sim_cycles);
+    json.key("wall_seconds").value(record.perf.wall_seconds);
+    json.key("cycles_per_sec").value(record.perf.cycles_per_sec);
+    json.key("mean_hop_count").value(record.perf.mean_hop_count);
+    json.key("peak_vc_occupancy").value(record.perf.peak_vc_occupancy);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+bool write_json(const std::string& path,
+                const std::vector<RunRecord>& records,
+                const std::string& tool) {
+  return util::write_text_file(path, to_json(records, tool) + "\n");
+}
+
+bool ResultLog::maybe_write(const util::CliArgs& args,
+                            const std::string& tool) const {
+  if (!args.has("json")) return true;
+  const std::string path = args.str("json");
+  if (!write_json(path, records_, tool)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool.c_str(),
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int finish(const util::CliArgs& args, const ResultLog& log,
+           const std::string& tool) {
+  const bool ok = log.maybe_write(args, tool);
+  for (const auto& key : args.unused_keys()) {
+    std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace pf::exp

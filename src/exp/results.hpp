@@ -1,0 +1,53 @@
+// The results layer: serializes RunRecords as JSON (schema
+// "polarfly-run/1", see README "Experiment engine") so every bench and
+// pf_sim can emit machine-readable output via --json <path>, and
+// bench_to_json can aggregate the per-binary files into one trajectory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace pf::exp {
+
+/// The record's points as the standard sweep table (offered, accepted,
+/// latencies, stability) — shared by every sweep-printing binary.
+util::Table sweep_table(const RunRecord& record);
+
+/// Banner + sweep table + saturation footer (the bisected plateau when
+/// the record came from saturation_search, peak accepted otherwise).
+void print_run(const RunRecord& record);
+
+/// The whole document: {"tool", "schema", "records": [...]}.
+std::string to_json(const std::vector<RunRecord>& records,
+                    const std::string& tool);
+
+/// Writes to_json(records, tool) to `path`; false on I/O failure.
+bool write_json(const std::string& path,
+                const std::vector<RunRecord>& records,
+                const std::string& tool);
+
+/// Collects the records a binary produces and handles its --json flag.
+class ResultLog {
+ public:
+  void add(RunRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<RunRecord>& records() const { return records_; }
+
+  /// Writes the records to the --json path when the flag is present
+  /// (reporting failures on stderr); true when there was nothing to do or
+  /// the write succeeded.
+  bool maybe_write(const util::CliArgs& args, const std::string& tool) const;
+
+ private:
+  std::vector<RunRecord> records_;
+};
+
+/// Shared tail of every sweep binary's main(): write --json if requested,
+/// warn about unused flags, and turn I/O failures into a nonzero exit.
+int finish(const util::CliArgs& args, const ResultLog& log,
+           const std::string& tool);
+
+}  // namespace pf::exp

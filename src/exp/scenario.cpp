@@ -1,0 +1,344 @@
+#include "exp/scenario.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "topo/dragonfly.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/slimfly.hpp"
+
+namespace pf::exp {
+namespace {
+
+/// FNV-1a over the CSR adjacency: a cheap exact fingerprint so oracle
+/// cache keys distinguish same-label graphs (e.g. Jellyfish seeds).
+std::uint64_t graph_fingerprint(const graph::Graph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    mix(static_cast<std::uint64_t>(g.degree(v)));
+    for (const std::int32_t u : g.neighbors(v)) {
+      mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)));
+    }
+  }
+  return h;
+}
+
+std::string join_kinds(const std::vector<std::string>& kinds) {
+  std::string out;
+  for (const auto& kind : kinds) {
+    if (!out.empty()) out += ' ';
+    out += kind;
+  }
+  return out;
+}
+
+std::string canonical_family(const std::string& family) {
+  if (family == "pf") return "polarfly";
+  if (family == "sf") return "slimfly";
+  if (family == "df") return "dragonfly";
+  if (family == "ft") return "fattree";
+  if (family == "jf") return "jellyfish";
+  return family;
+}
+
+}  // namespace
+
+const std::vector<std::string>& routing_kinds() {
+  static const std::vector<std::string> kinds = {
+      "MIN", "VAL", "CVAL", "UGAL", "UGALPF", "NCA", "ALG"};
+  return kinds;
+}
+
+std::unique_ptr<sim::RoutingAlgorithm> make_routing(
+    const NetSetup& setup, const std::string& kind,
+    const RoutingOptions& options) {
+  const auto need_oracle = [&setup, &kind]() -> const sim::DistanceOracle& {
+    if (!setup.oracle) {
+      throw std::invalid_argument("routing " + kind + " needs a setup with "
+                                  "a DistanceOracle (" +
+                                  setup.name + " has none)");
+    }
+    return *setup.oracle;
+  };
+  if (kind == "NCA") {
+    if (!setup.fattree) {
+      throw std::invalid_argument(
+          "routing NCA requires a fat-tree setup (got " + setup.name + ")");
+    }
+    return std::make_unique<sim::FatTreeNcaRouting>(*setup.fattree);
+  }
+  if (kind == "ALG") {
+    if (!setup.polarfly) {
+      throw std::invalid_argument(
+          "routing ALG requires a PolarFly setup (got " + setup.name + ")");
+    }
+    return std::make_unique<sim::AlgebraicPolarFlyRouting>(*setup.polarfly);
+  }
+  if (kind == "MIN") {
+    return std::make_unique<sim::MinimalRouting>(setup.graph, need_oracle());
+  }
+  if (kind == "VAL") {
+    return std::make_unique<sim::ValiantRouting>(setup.graph, need_oracle());
+  }
+  if (kind == "CVAL") {
+    return std::make_unique<sim::CompactValiantRouting>(setup.graph,
+                                                        need_oracle());
+  }
+  if (kind == "UGAL" || kind == "UGALPF") {
+    const bool compact = kind == "UGALPF";
+    const double threshold =
+        options.ugal_threshold >= 0.0
+            ? options.ugal_threshold
+            : (compact ? kDefaultUgalThreshold : 0.0);
+    return std::make_unique<sim::UgalRouting>(setup.graph, need_oracle(),
+                                              compact, threshold);
+  }
+  throw std::invalid_argument("unknown routing '" + kind + "' (known: " +
+                              join_kinds(routing_kinds()) + ")");
+}
+
+const std::vector<std::string>& pattern_kinds() {
+  static const std::vector<std::string> kinds = {
+      "uniform", "tornado", "randperm", "perm1hop", "perm2hop", "bitcomp"};
+  return kinds;
+}
+
+bool pattern_uses_seed(const std::string& kind) {
+  return kind == "randperm" || kind == "perm1hop" || kind == "perm2hop";
+}
+
+std::unique_ptr<sim::TrafficPattern> make_pattern(const NetSetup& setup,
+                                                  const std::string& kind,
+                                                  std::uint64_t seed) {
+  using sim::PermutationTraffic;
+  if (kind == "uniform") {
+    return std::make_unique<sim::UniformTraffic>(setup.terminals());
+  }
+  if (kind == "tornado") {
+    return std::make_unique<PermutationTraffic>(
+        PermutationTraffic::tornado(setup.terminals()));
+  }
+  if (kind == "randperm") {
+    return std::make_unique<PermutationTraffic>(
+        PermutationTraffic::random(setup.terminals(), seed));
+  }
+  if (kind == "perm1hop" || kind == "perm2hop") {
+    const int distance = kind == "perm1hop" ? 1 : 2;
+    return std::make_unique<PermutationTraffic>(
+        PermutationTraffic::at_distance(setup.graph, setup.terminals(),
+                                        distance, seed));
+  }
+  if (kind == "bitcomp") {
+    return std::make_unique<PermutationTraffic>(
+        PermutationTraffic::bit_complement(setup.terminals()));
+  }
+  throw std::invalid_argument("unknown pattern '" + kind + "' (known: " +
+                              join_kinds(pattern_kinds()) + ")");
+}
+
+NetSetup make_setup(const topo::TopologyInstance& inst, int p,
+                    const std::string& name) {
+  NetSetup setup;
+  setup.name = name.empty() ? inst.label : name;
+  setup.graph = inst.graph;
+  setup.endpoints = inst.endpoints(p);
+  setup.fattree = inst.fattree;
+  setup.polarfly = inst.polarfly;
+  char fp[24];
+  std::snprintf(fp, sizeof(fp), "#%016llx",
+                static_cast<unsigned long long>(
+                    graph_fingerprint(setup.graph)));
+  setup.oracle =
+      ScenarioRegistry::shared().oracle(inst.label + fp, setup.graph);
+  return setup;
+}
+
+NetSetup make_graph_setup(std::string name, graph::Graph g, int p) {
+  NetSetup setup;
+  setup.name = std::move(name);
+  setup.graph = std::move(g);
+  setup.endpoints =
+      sim::uniform_endpoints(setup.graph.num_vertices(), p);
+  setup.oracle = std::make_shared<sim::DistanceOracle>(setup.graph);
+  return setup;
+}
+
+NetSetup make_polarfly_setup(std::uint32_t q, int p,
+                             const std::string& name) {
+  auto setup = *ScenarioRegistry::shared().topology(
+      "polarfly:q=" + std::to_string(q) + ",p=" + std::to_string(p));
+  setup.name = name;
+  return setup;
+}
+
+NetSetup make_slimfly_setup(std::uint32_t q, int p) {
+  auto setup = *ScenarioRegistry::shared().topology(
+      "slimfly:q=" + std::to_string(q) + ",p=" + std::to_string(p));
+  setup.name = "SF";
+  return setup;
+}
+
+NetSetup make_dragonfly_setup(int a, int h, int p, const std::string& name) {
+  auto setup = *ScenarioRegistry::shared().topology(
+      "dragonfly:a=" + std::to_string(a) + ",h=" + std::to_string(h) +
+      ",p=" + std::to_string(p));
+  setup.name = name;
+  return setup;
+}
+
+NetSetup make_jellyfish_setup(int n, int k, int p, std::uint64_t seed) {
+  auto setup = *ScenarioRegistry::shared().topology(
+      "jellyfish:n=" + std::to_string(n) + ",k=" + std::to_string(k) +
+      ",p=" + std::to_string(p) + ",seed=" + std::to_string(seed));
+  setup.name = "JF";
+  return setup;
+}
+
+NetSetup make_fattree_setup(int levels, int arity) {
+  auto setup = *ScenarioRegistry::shared().topology(
+      "fattree:levels=" + std::to_string(levels) +
+      ",arity=" + std::to_string(arity) + ",p=" + std::to_string(arity));
+  setup.name = "FT";
+  return setup;
+}
+
+std::vector<NetSetup> make_table5_setups(bool full_scale) {
+  std::vector<NetSetup> setups;
+  if (full_scale) {
+    setups.push_back(make_polarfly_setup(31, 16));        // 993 @ 32
+    setups.push_back(make_slimfly_setup(23, 18));         // 1058 @ 35
+    setups.push_back(make_dragonfly_setup(12, 6, 6, "DF1"));   // 876 @ 17
+    setups.push_back(make_dragonfly_setup(6, 27, 10, "DF2"));  // 978 @ 32
+    setups.push_back(make_jellyfish_setup(993, 32, 16));  // 993 @ 32
+    setups.push_back(make_fattree_setup(3, 18));          // 972 switches
+  } else {
+    setups.push_back(make_polarfly_setup(13, 7));         // 183 @ 14
+    setups.push_back(make_slimfly_setup(11, 8));          // 242 @ 16
+    setups.push_back(make_dragonfly_setup(6, 3, 3, "DF1"));    // 114 @ 8
+    setups.push_back(make_dragonfly_setup(4, 11, 5, "DF2"));   // 180 @ 14
+    setups.push_back(make_jellyfish_setup(183, 14, 7));   // 183 @ 14
+    setups.push_back(make_fattree_setup(3, 6));           // 108 switches
+  }
+  return setups;
+}
+
+std::shared_ptr<const NetSetup> ScenarioRegistry::topology(
+    const std::string& spec) {
+  // Parse "family:k=v,k=v" into a canonical cache key + params.
+  const auto colon = spec.find(':');
+  const std::string family =
+      canonical_family(colon == std::string::npos ? spec
+                                                  : spec.substr(0, colon));
+  topo::TopologyParams params;
+  if (colon != std::string::npos) {
+    std::string rest = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos < rest.size()) {
+      const auto comma = rest.find(',', pos);
+      const std::string item =
+          rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos);
+      const auto eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("topology spec '" + spec +
+                                    "': expected key=value, got '" + item +
+                                    "'");
+      }
+      try {
+        std::size_t used = 0;
+        const std::int64_t value = std::stoll(item.substr(eq + 1), &used);
+        if (used != item.size() - eq - 1) throw std::invalid_argument(item);
+        params[item.substr(0, eq)] = value;
+      } catch (const std::exception&) {
+        throw std::invalid_argument("topology spec '" + spec +
+                                    "': parameter '" + item +
+                                    "' is not an integer");
+      }
+      pos = comma == std::string::npos ? rest.size() : comma + 1;
+    }
+  }
+
+  // Canonical key: family + sorted params (TopologyParams is a std::map).
+  std::string key = family;
+  char sep = ':';
+  for (const auto& [k, v] : params) {
+    key += sep;
+    key += k + "=" + std::to_string(v);
+    sep = ',';
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = topologies_.find(key);
+    if (it != topologies_.end()) return it->second;
+  }
+
+  // Build outside the lock (construction may parallel_for internally);
+  // a racing duplicate build is wasted work, not an error.
+  topo::TopologyParams topo_params = params;
+  const auto p_it = topo_params.find("p");
+  std::int64_t p = -1;
+  if (p_it != topo_params.end()) {
+    p = p_it->second;
+    // "p" doubles as the endpoint count; only dragonfly consumes it as a
+    // structural parameter (mirroring apps/topo_args.hpp).
+    if (family != "dragonfly") topo_params.erase("p");
+  }
+  const auto inst = topo::make_topology(family, topo_params);
+  auto setup = std::make_shared<NetSetup>(make_setup(
+      inst, static_cast<int>(p > 0 ? p : inst.default_concentration())));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = topologies_.emplace(key, std::move(setup));
+  return it->second;
+}
+
+std::shared_ptr<const sim::DistanceOracle> ScenarioRegistry::oracle(
+    const std::string& key, const graph::Graph& g) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = oracles_.find(key);
+    if (it != oracles_.end()) return it->second;
+  }
+  auto oracle = std::make_shared<const sim::DistanceOracle>(g);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = oracles_.emplace(key, std::move(oracle));
+  return it->second;
+}
+
+Scenario ScenarioRegistry::make(const ScenarioSpec& spec) {
+  Scenario scenario;
+  scenario.setup = topology(spec.topology);
+  scenario.routing =
+      make_routing(*scenario.setup, spec.routing, spec.routing_options);
+  const std::uint64_t seed =
+      spec.pattern_seed != 0 ? spec.pattern_seed : spec.config.seed;
+  scenario.pattern = make_pattern(*scenario.setup, spec.pattern, seed);
+  scenario.config = spec.config;
+  scenario.label = !spec.name.empty()
+                       ? spec.name
+                       : scenario.setup->name + " / " +
+                             scenario.routing->name() + " / " +
+                             scenario.pattern->name();
+  return scenario;
+}
+
+std::vector<std::string> ScenarioRegistry::cached_topologies() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(topologies_.size());
+  for (const auto& [key, setup] : topologies_) keys.push_back(key);
+  return keys;
+}
+
+ScenarioRegistry& ScenarioRegistry::shared() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+}  // namespace pf::exp

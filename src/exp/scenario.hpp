@@ -1,0 +1,150 @@
+// The scenario layer of the experiment engine: every evaluation in the
+// paper is a {topology, routing, traffic} triple swept over offered load.
+// This header owns the pieces that used to live inline in
+// bench/common.hpp — the NetSetup bundle, the make_*_setup topology
+// factories, and the string-keyed routing / traffic factories — plus a
+// ScenarioRegistry that caches topologies (and their DistanceOracles, the
+// expensive part) by spec string so every sweep point and every routing
+// over the same topology shares one oracle.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/polarfly.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+#include "sim/routing.hpp"
+#include "sim/traffic.hpp"
+#include "topo/fattree.hpp"
+#include "topo/registry.hpp"
+
+namespace pf::exp {
+
+/// One simulated network: topology graph + endpoint placement + the state
+/// routing algorithms need. Oracle and family handles are shared so many
+/// scenarios over the same topology cost one all-pairs BFS.
+struct NetSetup {
+  std::string name;
+  graph::Graph graph;
+  std::vector<int> endpoints;
+  std::shared_ptr<const sim::DistanceOracle> oracle;
+  std::shared_ptr<const topo::FatTree> fattree;    ///< fat-tree setups only
+  std::shared_ptr<const core::PolarFly> polarfly;  ///< PolarFly setups only
+
+  std::vector<int> terminals() const {
+    return sim::terminal_routers(endpoints);
+  }
+};
+
+/// The adaptation threshold SS VII-C fixes at 2/3: the detour candidate is
+/// only considered once the minimal first-hop occupancy exceeds it.
+inline constexpr double kDefaultUgalThreshold = 2.0 / 3.0;
+
+struct RoutingOptions {
+  /// Adaptation threshold for the UGAL family; negative selects the
+  /// kind's paper default (UGAL: 0 = always consider the detour,
+  /// UGALPF: 2/3).
+  double ugal_threshold = -1.0;
+};
+
+/// Routing algorithm factory over a setup. Throws std::invalid_argument
+/// naming the known kinds on an unknown kind (or on NCA/ALG without the
+/// matching structural handle).
+std::unique_ptr<sim::RoutingAlgorithm> make_routing(
+    const NetSetup& setup, const std::string& kind,
+    const RoutingOptions& options = {});
+
+/// The routing kinds make_routing accepts.
+const std::vector<std::string>& routing_kinds();
+
+/// Traffic pattern factory: uniform | tornado | randperm | perm1hop |
+/// perm2hop | bitcomp. Throws std::invalid_argument naming the known
+/// kinds on an unknown kind.
+std::unique_ptr<sim::TrafficPattern> make_pattern(const NetSetup& setup,
+                                                  const std::string& kind,
+                                                  std::uint64_t seed);
+
+const std::vector<std::string>& pattern_kinds();
+
+/// True for pattern kinds whose construction consumes the seed
+/// (randperm/perm1hop/perm2hop) — callers record it for reproducibility.
+bool pattern_uses_seed(const std::string& kind);
+
+// ---- topology factories (Tab. V and friends) ----------------------------
+
+/// Wraps a registry TopologyInstance: p endpoints per router (fat trees:
+/// per leaf switch), oracle shared through the ScenarioRegistry cache.
+NetSetup make_setup(const topo::TopologyInstance& inst, int p,
+                    const std::string& name = "");
+
+/// A setup over an ad-hoc graph (damaged, expanded, ...). The oracle is
+/// computed fresh — ad-hoc graphs are not cached.
+NetSetup make_graph_setup(std::string name, graph::Graph g, int p);
+
+NetSetup make_polarfly_setup(std::uint32_t q, int p,
+                             const std::string& name = "PF");
+NetSetup make_slimfly_setup(std::uint32_t q, int p);
+NetSetup make_dragonfly_setup(int a, int h, int p, const std::string& name);
+NetSetup make_jellyfish_setup(int n, int k, int p,
+                              std::uint64_t seed = 0xf15eULL);
+NetSetup make_fattree_setup(int levels, int arity);
+
+/// The Tab. V configuration set (or its reduced-scale twin).
+std::vector<NetSetup> make_table5_setups(bool full_scale);
+
+// ---- scenario registry ---------------------------------------------------
+
+/// A fully specified sweep-ready experiment, by string keys.
+struct ScenarioSpec {
+  /// "family:key=value,..." — family and parameters as understood by
+  /// topo::make_topology, plus p=<endpoints per router> (default: the
+  /// family's balanced concentration). Example: "pf:q=13,p=7".
+  std::string topology;
+  std::string routing = "MIN";
+  std::string pattern = "uniform";
+  sim::SimConfig config;
+  RoutingOptions routing_options;
+  std::uint64_t pattern_seed = 0;  ///< 0 -> config.seed
+  std::string name;                ///< optional label override
+};
+
+/// A resolved spec: shared topology state plus owned routing/pattern.
+struct Scenario {
+  std::shared_ptr<const NetSetup> setup;
+  std::shared_ptr<const sim::RoutingAlgorithm> routing;
+  std::shared_ptr<const sim::TrafficPattern> pattern;
+  sim::SimConfig config;
+  std::string label;
+};
+
+/// String-keyed topology/oracle cache + scenario resolution. Thread-safe.
+class ScenarioRegistry {
+ public:
+  /// Parses a topology spec (see ScenarioSpec::topology), constructing and
+  /// caching the setup — repeated calls share one graph and one oracle.
+  std::shared_ptr<const NetSetup> topology(const std::string& spec);
+
+  /// The oracle for `key`, computed from `g` on first use. Shared across
+  /// all sweep points and routings over the same topology.
+  std::shared_ptr<const sim::DistanceOracle> oracle(const std::string& key,
+                                                    const graph::Graph& g);
+
+  Scenario make(const ScenarioSpec& spec);
+
+  /// Keys currently cached (diagnostics).
+  std::vector<std::string> cached_topologies() const;
+
+  /// The process-wide registry the factories above share oracles through.
+  static ScenarioRegistry& shared();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const NetSetup>> topologies_;
+  std::map<std::string, std::shared_ptr<const sim::DistanceOracle>> oracles_;
+};
+
+}  // namespace pf::exp

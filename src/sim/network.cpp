@@ -21,6 +21,32 @@ Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
   if (static_cast<int>(endpoints_.size()) != n) {
     throw std::invalid_argument("endpoints size != num_vertices");
   }
+  if (config_.packet_size < 1) {
+    throw std::invalid_argument("Network: packet_size must be >= 1, got " +
+                                std::to_string(config_.packet_size));
+  }
+  // Fail construction, not a mid-run Route::push: every route has
+  // max_hops() links, i.e. max_hops() + 1 routers.
+  if (routing_.max_hops() + 1 > Route::kMaxLen) {
+    throw std::invalid_argument(
+        "Network: routing " + routing_.name() + " produces routes of up to " +
+        std::to_string(routing_.max_hops() + 1) +
+        " routers, exceeding Route::kMaxLen = " +
+        std::to_string(Route::kMaxLen));
+  }
+  // Deadlock freedom needs one VC class per hop; refuse configurations
+  // that would silently fold multiple hop classes into one VC.
+  if (config_.vcs < routing_.max_hops()) {
+    throw std::invalid_argument(
+        "Network: config.vcs = " + std::to_string(config_.vcs) + " < " +
+        std::to_string(routing_.max_hops()) + " VC classes required by " +
+        routing_.name() + " (one class per hop for deadlock freedom)");
+  }
+  if (config_.vcs > 64) {
+    throw std::invalid_argument(
+        "Network: config.vcs = " + std::to_string(config_.vcs) +
+        " exceeds the 64-VC limit of the allocator bitmask");
+  }
   terminals_ = terminal_routers(endpoints_);
   terminal_eject_free_.assign(terminals_.size(), 0);
   terminal_inject_free_.assign(terminals_.size(), 0);
@@ -28,9 +54,13 @@ Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
   // VC organization: one class per possible hop, sub-VCs split the rest.
   classes_ = std::max(1, std::min(config_.vcs, routing_.max_hops()));
   subvcs_ = std::max(1, config_.vcs / classes_);
-  const int vcs_used = classes_ * subvcs_;
+  vcs_used_ = classes_ * subvcs_;
   vc_cap_packets_ = std::max(
-      1, config_.buf_per_port / vcs_used / std::max(1, config_.packet_size));
+      1, config_.buf_per_port / vcs_used_ / std::max(1, config_.packet_size));
+  if (vc_cap_packets_ > 0xffff) {
+    throw std::invalid_argument(
+        "Network: buf_per_port yields VC rings deeper than 65535 packets");
+  }
 
   // Directed channel table aligned with the CSR adjacency.
   channel_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
@@ -51,20 +81,56 @@ Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
   }
   channel_occupancy_.assign(num_channels, 0);
   waiting_for_output_.assign(num_channels, 0);
-  channels_.resize(num_channels);
-  for (auto& channel : channels_) {
-    channel.vc_queues.resize(static_cast<std::size_t>(vcs_used));
-  }
+  const std::size_t num_rings =
+      num_channels * static_cast<std::size_t>(vcs_used_);
+  ring_slots_.assign(num_rings * static_cast<std::size_t>(vc_cap_packets_),
+                     -1);
+  ring_head_.assign(num_rings, 0);
+  ring_size_.assign(num_rings, 0);
+  vc_nonempty_.assign(num_channels, 0);
+  link_busy_until_.assign(num_channels, 0);
   injection_pool_.assign(static_cast<std::size_t>(n), {});
-  arb_pointer_.assign(static_cast<std::size_t>(n), 0);
+  router_backlog_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void Network::reset(double load) {
+  load_ = load;
+  reset_state();
+}
+
+void Network::reset_state() {
+  std::fill(terminal_eject_free_.begin(), terminal_eject_free_.end(), 0);
+  std::fill(terminal_inject_free_.begin(), terminal_inject_free_.end(), 0);
+  std::fill(channel_occupancy_.begin(), channel_occupancy_.end(), 0);
+  std::fill(waiting_for_output_.begin(), waiting_for_output_.end(), 0);
+  std::fill(ring_head_.begin(), ring_head_.end(), 0);
+  std::fill(ring_size_.begin(), ring_size_.end(), 0);
+  std::fill(vc_nonempty_.begin(), vc_nonempty_.end(), 0);
+  std::fill(link_busy_until_.begin(), link_busy_until_.end(), 0);
+  std::fill(router_backlog_.begin(), router_backlog_.end(), 0);
+  for (auto& pool : injection_pool_) pool.clear();
+  packets_.clear();
+  free_packets_.clear();
+  latencies_.clear();
+  cycle_ = 0;
+  rng_ = util::Rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+  measuring_ = false;
+  measure_start_ = 0;
+  measure_end_ = 0;
+  measured_generated_ = 0;
+  measured_delivered_ = 0;
+  measured_flits_ejected_ = 0;
+  measured_hops_ = 0;
+  peak_vc_packets_ = 0;
 }
 
 double Network::first_hop_occupancy(int u, int v) const {
-  const auto c = static_cast<std::size_t>(channel_id(u, v));
-  const auto& channel = channels_[c];
-  std::size_t queued = static_cast<std::size_t>(waiting_for_output_[c]);
+  const int c = channel_id(u, v);
+  std::size_t queued =
+      static_cast<std::size_t>(waiting_for_output_[static_cast<std::size_t>(c)]);
+  const std::size_t base = ring_of(c, 0);
   for (int vc = 0; vc < subvcs_; ++vc) {
-    queued += channel.vc_queues[static_cast<std::size_t>(vc)].size();
+    queued += ring_size_[base + static_cast<std::size_t>(vc)];
   }
   return static_cast<double>(queued) /
          static_cast<double>(static_cast<std::size_t>(subvcs_) *
@@ -114,6 +180,7 @@ void Network::inject_new_packets() {
     if (packet.measured) ++measured_generated_;
     injection_pool_[static_cast<std::size_t>(packet.src_router)].push_back(
         id);
+    ++router_backlog_[static_cast<std::size_t>(packet.src_router)];
   }
 }
 
@@ -127,6 +194,7 @@ void Network::eject(int packet_id) {
   }
   if (packet.measured) {
     ++measured_delivered_;
+    measured_hops_ += packet.route.len - 1;
     latencies_.push_back(latency);
   }
   release_packet(packet_id);
@@ -154,8 +222,9 @@ bool Network::try_dispatch(int packet_id, int at_router) {
       routing_.route(*this, packet.src_router, dst_router, rng_,
                      packet.route);
       // The packet now queues for its chosen first link.
-      ++waiting_for_output_[static_cast<std::size_t>(
-          channel_id(packet.src_router, packet.route.hops[1]))];
+      packet.out_channel =
+          channel_id(packet.src_router, packet.route.hops[1]);
+      ++waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
     }
   }
 
@@ -169,30 +238,39 @@ bool Network::try_dispatch(int packet_id, int at_router) {
     return true;
   }
 
-  const int next =
-      packet.route.hops[static_cast<std::size_t>(packet.hop) + 1];
-  const int out = channel_id(at_router, next);
-  ChannelState& out_channel = channels_[static_cast<std::size_t>(out)];
-  if (out_channel.busy_until > cycle_) return false;  // link serializing
+  if (packet.out_channel < 0) {
+    const int next =
+        packet.route.hops[static_cast<std::size_t>(packet.hop) + 1];
+    packet.out_channel = channel_id(at_router, next);
+  }
+  const auto out = static_cast<std::size_t>(packet.out_channel);
+  if (link_busy_until_[out] > cycle_) return false;  // link serializing
 
   // packet.hop is still the 0-based index of the link being taken, so
   // the first hop lands in class 0 — matching the class assignment the
   // deadlock checker certifies.
   const int vc = vc_for(packet);
-  auto& queue = out_channel.vc_queues[static_cast<std::size_t>(vc)];
-  if (static_cast<int>(queue.size()) >= vc_cap_packets_) {
+  const std::size_t ring = ring_of(static_cast<int>(out), vc);
+  const int size = ring_size_[ring];
+  if (size >= vc_cap_packets_) {
     return false;  // no downstream credit
   }
   ++packet.hop;
-  queue.push_back(packet_id);
-  out_channel.nonempty |= 1ULL << vc;
-  out_channel.busy_until = cycle_ + config_.packet_size;
-  channel_occupancy_[static_cast<std::size_t>(out)] += config_.packet_size;
+  ring_slots_[ring * static_cast<std::size_t>(vc_cap_packets_) +
+              static_cast<std::size_t>((ring_head_[ring] + size) %
+                                       vc_cap_packets_)] = packet_id;
+  ring_size_[ring] = static_cast<std::uint16_t>(size + 1);
+  if (size + 1 > peak_vc_packets_) peak_vc_packets_ = size + 1;
+  vc_nonempty_[out] |= 1ULL << vc;
+  link_busy_until_[out] = cycle_ + config_.packet_size;
+  channel_occupancy_[out] += config_.packet_size;
+  ++router_backlog_[static_cast<std::size_t>(channel_target_[out])];
   if (packet.hop == 1 && packet.route.len >= 2) {
     // Departed the source: leave that first-hop waiting queue.
-    --waiting_for_output_[static_cast<std::size_t>(out)];
+    --waiting_for_output_[out];
   }
   packet.ready = cycle_ + 1;  // head arrives downstream next cycle
+  packet.out_channel = -1;    // recomputed at the downstream router
   return true;
 }
 
@@ -201,27 +279,37 @@ void Network::allocate_router(int v) {
   // output links, otherwise saturated sources starve every through-flow
   // and the network gridlocks instead of plateauing.
   const auto& incoming = in_channels_[static_cast<std::size_t>(v)];
+  // Rotating priority: every router historically bumped its arbiter
+  // pointer once per cycle, so the pointer equals the cycle count —
+  // derive the start from cycle_ directly (bit-identical, and idle-router
+  // skipping cannot drift it).
   const std::size_t start =
       incoming.empty()
           ? 0
-          : arb_pointer_[static_cast<std::size_t>(v)]++ % incoming.size();
+          : static_cast<std::size_t>(cycle_) % incoming.size();
   for (std::size_t k = 0; k < incoming.size(); ++k) {
     const int c = incoming[(start + k) % incoming.size()];
-    ChannelState& channel = channels_[static_cast<std::size_t>(c)];
-    std::uint64_t mask = channel.nonempty;
+    std::uint64_t mask = vc_nonempty_[static_cast<std::size_t>(c)];
     while (mask != 0) {
       // Highest VC first: higher hop classes are closer to delivery, and
       // draining them first keeps overload from jamming the intermediate
       // buffers with half-way packets.
       const int vc = 63 - __builtin_clzll(mask);
       mask &= ~(1ULL << vc);
-      auto& queue = channel.vc_queues[static_cast<std::size_t>(vc)];
-      const int packet_id = queue.front();
+      const std::size_t ring = ring_of(c, vc);
+      const int packet_id =
+          ring_slots_[ring * static_cast<std::size_t>(vc_cap_packets_) +
+                      ring_head_[ring]];
       if (try_dispatch(packet_id, v)) {
-        queue.pop_front();
-        if (queue.empty()) channel.nonempty &= ~(1ULL << vc);
+        ring_head_[ring] = static_cast<std::uint16_t>(
+            (ring_head_[ring] + 1) % vc_cap_packets_);
+        const std::uint16_t remaining = --ring_size_[ring];
+        if (remaining == 0) {
+          vc_nonempty_[static_cast<std::size_t>(c)] &= ~(1ULL << vc);
+        }
         channel_occupancy_[static_cast<std::size_t>(c)] -=
             config_.packet_size;
+        --router_backlog_[static_cast<std::size_t>(v)];
       }
     }
   }
@@ -235,6 +323,7 @@ void Network::allocate_router(int v) {
   for (std::size_t i = 0; i < pool.size() && i < scan;) {
     if (try_dispatch(pool[i], v)) {
       pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+      --router_backlog_[static_cast<std::size_t>(v)];
     } else {
       ++i;
     }
@@ -243,7 +332,15 @@ void Network::allocate_router(int v) {
 
 void Network::step() {
   inject_new_packets();
-  for (int v = 0; v < graph_.num_vertices(); ++v) allocate_router(v);
+  const int n = graph_.num_vertices();
+  // Active-router worklist: a router with nothing queued (no VC ring
+  // occupied, empty injection pool) can neither dispatch nor draw
+  // randomness, so skipping it is exact.
+  for (int v = 0; v < n; ++v) {
+    if (router_backlog_[static_cast<std::size_t>(v)] != 0) {
+      allocate_router(v);
+    }
+  }
   ++cycle_;
 }
 

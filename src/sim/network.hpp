@@ -15,12 +15,19 @@
 //     their endpoint's ejection port (one flit per cycle per endpoint).
 //
 // Latency = birth (generation) to tail ejection, in cycles.
+//
+// Hot-loop layout: VC buffers are flat ring buffers (channel-major), a
+// per-router backlog counter skips idle routers entirely, and each packet
+// caches its current output channel id, so a blocked head costs a few
+// loads instead of a binary search per cycle. `reset()` rewinds a network
+// to its just-constructed state so sweeps reuse one instance instead of
+// rebuilding the channel indexing per point; identical seeds produce
+// bit-identical statistics either way.
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -61,12 +68,22 @@ struct Route {
 
 class Network {
  public:
+  /// Validates the configuration up front: routes must fit Route::kMaxLen
+  /// and `config.vcs` must cover one VC class per hop of `routing`
+  /// (deadlock freedom) — both throw std::invalid_argument with the
+  /// offending numbers instead of failing mid-simulation.
   Network(const graph::Graph& g, const std::vector<int>& endpoints,
           const RoutingAlgorithm& routing, const TrafficPattern& pattern,
           const SimConfig& config, double load);
 
   const graph::Graph& graph() const { return graph_; }
   const SimConfig& config() const { return config_; }
+
+  /// Rewinds to the just-constructed state at a new offered load: all
+  /// queues empty, cycle 0, RNG reseeded from config.seed. A reset
+  /// network produces bit-identical statistics to a freshly constructed
+  /// one, without rebuilding the channel indexing.
+  void reset(double load);
 
   /// The congestion adaptive routing reads for link u -> v: flits
   /// buffered (or reserved) at the downstream end plus flits of injected
@@ -104,6 +121,19 @@ class Network {
   bool converged() const;         ///< all measured packets delivered
   std::int64_t delivered_packets() const { return measured_delivered_; }
 
+  // --- perf counters (for machine-readable run records) ---
+  /// Total router hops of measured delivered packets.
+  std::int64_t measured_hops() const { return measured_hops_; }
+  /// Mean hop count of measured delivered packets.
+  double mean_hops() const {
+    return measured_delivered_ == 0
+               ? 0.0
+               : static_cast<double>(measured_hops_) /
+                     static_cast<double>(measured_delivered_);
+  }
+  /// Deepest any single VC ring got (packets), since construction/reset.
+  int peak_vc_packets() const { return peak_vc_packets_; }
+
   std::int64_t current_cycle() const { return cycle_; }
 
  private:
@@ -113,16 +143,10 @@ class Network {
     int src_router = 0;
     int dst_terminal = 0;
     int subvc = 0;
+    std::int32_t out_channel = -1;  ///< cached id of the next link
     std::int64_t birth = 0;
     std::int64_t ready = 0;  ///< head-arrival time at the current router
     bool measured = false;
-  };
-
-  /// One directed channel's input-side state at the downstream router.
-  struct ChannelState {
-    std::vector<std::deque<int>> vc_queues;  ///< packet ids per VC
-    std::uint64_t nonempty = 0;              ///< bitmask over VCs
-    std::int64_t busy_until = 0;             ///< link serialization
   };
 
   int channel_id(int u, int v) const;
@@ -130,6 +154,13 @@ class Network {
     const int hop_class = std::min(packet.hop, classes_ - 1);
     return hop_class * subvcs_ + packet.subvc;
   }
+  /// Flat index of one VC ring: channel-major, then VC.
+  std::size_t ring_of(int channel, int vc) const {
+    return static_cast<std::size_t>(channel) *
+               static_cast<std::size_t>(vcs_used_) +
+           static_cast<std::size_t>(vc);
+  }
+  void reset_state();
   void inject_new_packets();
   void allocate_router(int v);
   bool try_dispatch(int packet_id, int at_router);  ///< grant check + move
@@ -156,8 +187,18 @@ class Network {
   /// their first hop (the source-side output queue).
   std::vector<int> waiting_for_output_;
 
-  std::vector<ChannelState> channels_;        ///< one per directed edge
-  std::vector<std::deque<int>> injection_pool_;  ///< per router
+  // Flat VC rings: ring r (see ring_of) owns slots
+  // [r * vc_cap_packets_, (r + 1) * vc_cap_packets_) of ring_slots_.
+  std::vector<std::int32_t> ring_slots_;      ///< packet ids
+  std::vector<std::uint16_t> ring_head_;      ///< per ring
+  std::vector<std::uint16_t> ring_size_;      ///< per ring
+  std::vector<std::uint64_t> vc_nonempty_;    ///< per channel: VC bitmask
+  std::vector<std::int64_t> link_busy_until_; ///< per channel serialization
+
+  std::vector<std::vector<int>> injection_pool_;  ///< per router
+  /// Packets queued at each router (VC rings + injection pool); routers
+  /// at zero are skipped by step() — the active-router worklist.
+  std::vector<int> router_backlog_;
 
   std::vector<Packet> packets_;
   std::vector<int> free_packets_;
@@ -165,10 +206,9 @@ class Network {
   int vc_cap_packets_ = 1;  ///< packets per VC buffer
   int classes_ = 1;         ///< VC classes (hop based)
   int subvcs_ = 1;          ///< sub-VCs per class
+  int vcs_used_ = 1;        ///< classes_ * subvcs_
   std::int64_t cycle_ = 0;
   util::Rng rng_;
-
-  std::vector<std::uint32_t> arb_pointer_;  ///< rotating priority/router
 
   // Measurement state.
   bool measuring_ = false;
@@ -177,6 +217,8 @@ class Network {
   std::int64_t measured_generated_ = 0;
   std::int64_t measured_delivered_ = 0;
   std::int64_t measured_flits_ejected_ = 0;
+  std::int64_t measured_hops_ = 0;
+  int peak_vc_packets_ = 0;
   std::vector<std::int64_t> latencies_;
 };
 

@@ -29,14 +29,19 @@ DistanceOracle::DistanceOracle(const graph::Graph& g) : n_(g.num_vertices()) {
 void DistanceOracle::sample_min_path(const graph::Graph& g, int s, int d,
                                      util::Rng& rng, Route& out) const {
   if (out.len == 0 || out.back() != s) out.push(s);
+  // BFS distances on an undirected graph are symmetric, so all lookups
+  // can read along row d — contiguous and cache-resident for the whole
+  // descent, unlike one scattered row access per neighbor.
+  const std::int16_t* to_d = &dist_[static_cast<std::size_t>(d) *
+                                    static_cast<std::size_t>(n_)];
   int at = s;
   while (at != d) {
-    const int remaining = distance(at, d);
+    const int remaining = to_d[at];
     // Reservoir-sample uniformly among descending neighbors.
     int pick = -1;
     int seen = 0;
     for (const std::int32_t v : g.neighbors(at)) {
-      if (distance(static_cast<int>(v), d) == remaining - 1) {
+      if (to_d[v] == remaining - 1) {
         ++seen;
         if (rng.below(static_cast<std::uint64_t>(seen)) == 0) {
           pick = static_cast<int>(v);

@@ -1,0 +1,186 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pf::util {
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (wrote_value_) {
+      throw std::logic_error("JsonWriter: multiple top-level values");
+    }
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.kind == '{' && !top.keyed) {
+    throw std::logic_error("JsonWriter: object value without key()");
+  }
+  if (top.kind == '[' || !top.keyed) {
+    if (top.count > 0) out_ += ',';
+    newline_indent();
+  }
+  top.keyed = false;
+  ++top.count;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back().kind != '{') {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  Frame& top = stack_.back();
+  if (top.keyed) throw std::logic_error("JsonWriter: key() after key()");
+  if (top.count > 0) out_ += ',';
+  newline_indent();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  top.keyed = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back({'{', 0, false});
+  wrote_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().kind != '{' || stack_.back().keyed) {
+    throw std::logic_error("JsonWriter: unbalanced end_object()");
+  }
+  const bool had_values = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_values) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back({'[', 0, false});
+  wrote_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().kind != '[') {
+    throw std::logic_error("JsonWriter: unbalanced end_array()");
+  }
+  const bool had_values = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_values) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  before_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  wrote_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out_ += buf;
+  }
+  wrote_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  before_value();
+  out_ += std::to_string(i);
+  wrote_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  before_value();
+  out_ += std::to_string(u);
+  wrote_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  wrote_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  wrote_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  before_value();
+  out_ += json;
+  wrote_value_ = true;
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file);
+}
+
+bool read_text_file(const std::string& path, std::string& out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace pf::util

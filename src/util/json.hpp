@@ -1,0 +1,69 @@
+// A small streaming JSON writer: containers push/pop on a stack, commas
+// and indentation are handled automatically, doubles round-trip via %.17g
+// (non-finite values degrade to null). Enough for the machine-readable
+// run records the benches and apps emit — no parsing, no DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pf::util {
+
+class JsonWriter {
+ public:
+  /// indent <= 0 emits compact single-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value (valid only inside an object).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s) { return value(std::string(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// Embeds `json` verbatim as one value. The caller vouches that it is
+  /// well-formed JSON (used to aggregate already-emitted documents).
+  JsonWriter& raw(const std::string& json);
+
+  /// The document so far. Well-formed once every container is closed.
+  const std::string& str() const { return out_; }
+
+  /// True when every begin_* has been matched by an end_*.
+  bool complete() const { return stack_.empty() && wrote_value_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  struct Frame {
+    char kind;        // '{' or '['
+    int count = 0;    // values emitted so far
+    bool keyed = false;
+  };
+
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  int indent_ = 2;
+  bool wrote_value_ = false;
+};
+
+/// Writes `content` to `path`, returning false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+/// Reads a whole file into `out`, returning false on I/O failure.
+bool read_text_file(const std::string& path, std::string& out);
+
+}  // namespace pf::util

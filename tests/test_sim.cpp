@@ -15,6 +15,7 @@
 #include "sim/traffic.hpp"
 #include "topo/fattree.hpp"
 #include "topo/registry.hpp"
+#include "topo/torus.hpp"
 
 namespace {
 
@@ -52,6 +53,48 @@ TEST(DistanceOracle, MatchesBfs) {
   const auto dist = graph::bfs_distances(fx.pf.graph(), 3);
   for (int v = 0; v < fx.pf.num_vertices(); ++v) {
     EXPECT_EQ(fx.oracle.distance(3, v), dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(DistanceOracle, MatchesBfsEverywherePf7AndTorus) {
+  const core::PolarFly pf7(7);
+  const topo::Torus torus(5, 2);
+  for (const graph::Graph* g : {&pf7.graph(), &torus.graph()}) {
+    const sim::DistanceOracle oracle(*g);
+    int max_seen = 0;
+    for (int s = 0; s < g->num_vertices(); ++s) {
+      const auto dist = graph::bfs_distances(*g, s);
+      for (int v = 0; v < g->num_vertices(); ++v) {
+        ASSERT_EQ(oracle.distance(s, v), dist[static_cast<std::size_t>(v)])
+            << "s=" << s << " v=" << v;
+        max_seen = std::max(max_seen, dist[static_cast<std::size_t>(v)]);
+      }
+    }
+    EXPECT_EQ(oracle.diameter(), max_seen);
+  }
+}
+
+TEST(DistanceOracle, SampleMinPathIsMinimalAndValid) {
+  const core::PolarFly pf7(7);
+  const topo::Torus torus(5, 2);
+  util::Rng rng(17);
+  for (const graph::Graph* g : {&pf7.graph(), &torus.graph()}) {
+    const sim::DistanceOracle oracle(*g);
+    for (int s = 0; s < g->num_vertices(); s += 3) {
+      for (int d = 0; d < g->num_vertices(); d += 5) {
+        sim::Route route;
+        oracle.sample_min_path(*g, s, d, rng, route);
+        ASSERT_GE(route.len, 1);
+        EXPECT_EQ(route.hops[0], s);
+        EXPECT_EQ(route.back(), d);
+        EXPECT_EQ(route.len - 1, oracle.distance(s, d));
+        for (int h = 0; h + 1 < route.len; ++h) {
+          EXPECT_TRUE(
+              g->has_edge(route.hops[static_cast<std::size_t>(h)],
+                          route.hops[static_cast<std::size_t>(h) + 1]));
+        }
+      }
+    }
   }
 }
 
@@ -216,6 +259,76 @@ TEST(Simulator, SweepFindsSaturation) {
   }
   // Latency grows with load.
   EXPECT_GE(sweep.points[2].avg_latency, sweep.points[0].avg_latency);
+}
+
+TEST(Simulator, ResetIsBitIdenticalToFreshConstruction) {
+  PfFixture fx;
+  const sim::UgalRouting routing(fx.pf.graph(), fx.oracle, true, 2.0 / 3.0);
+  sim::SimConfig config;
+  config.warmup_cycles = 200;
+  config.measure_cycles = 400;
+  config.drain_cycles = 1000;
+
+  const auto collect = [](sim::Network& net) {
+    net.run_phases();
+    sim::SimStats stats;
+    stats.offered = net.offered_load();
+    stats.accepted_load = net.accepted_load();
+    stats.avg_latency = net.avg_latency();
+    stats.p99_latency = net.p99_latency();
+    stats.converged = net.converged();
+    stats.delivered_packets = net.delivered_packets();
+    return stats;
+  };
+
+  sim::Network reused(fx.pf.graph(), fx.endpoints, routing, fx.pattern,
+                      config, 0.3);
+  const auto first = collect(reused);
+  // A dirty network rewound to another load, then back.
+  reused.reset(0.7);
+  reused.run_phases();
+  reused.reset(0.3);
+  const auto again = collect(reused);
+
+  sim::Network fresh(fx.pf.graph(), fx.endpoints, routing, fx.pattern,
+                     config, 0.3);
+  const auto reference = collect(fresh);
+
+  for (const auto* stats : {&first, &again}) {
+    EXPECT_EQ(stats->accepted_load, reference.accepted_load);
+    EXPECT_EQ(stats->avg_latency, reference.avg_latency);
+    EXPECT_EQ(stats->p99_latency, reference.p99_latency);
+    EXPECT_EQ(stats->converged, reference.converged);
+    EXPECT_EQ(stats->delivered_packets, reference.delivered_packets);
+  }
+  EXPECT_GT(reference.delivered_packets, 0);
+}
+
+TEST(Simulator, RejectsInvalidConfigurationsAtConstruction) {
+  PfFixture fx;
+  // Route bound: Valiant on a 13-ary 2-torus detours up to 2 * 12 = 24
+  // hops = 25 routers > Route::kMaxLen.
+  const topo::Torus torus(13, 2);
+  const sim::DistanceOracle oracle(torus.graph());
+  const sim::ValiantRouting long_valiant(torus.graph(), oracle);
+  ASSERT_GT(long_valiant.max_hops() + 1, sim::Route::kMaxLen);
+  const auto endpoints = sim::uniform_endpoints(torus.graph().num_vertices(),
+                                                2);
+  const sim::UniformTraffic pattern(sim::terminal_routers(endpoints));
+  sim::SimConfig config;
+  config.vcs = 24;
+  EXPECT_THROW(sim::Network(torus.graph(), endpoints, long_valiant, pattern,
+                            config, 0.1),
+               std::invalid_argument);
+
+  // VC classes: Valiant on PolarFly needs 4 classes, vcs=2 cannot host
+  // one class per hop.
+  const sim::ValiantRouting valiant(fx.pf.graph(), fx.oracle);
+  sim::SimConfig small;
+  small.vcs = 2;
+  EXPECT_THROW(sim::Network(fx.pf.graph(), fx.endpoints, valiant,
+                            fx.pattern, small, 0.1),
+               std::invalid_argument);
 }
 
 TEST(Deadlock, HopClassesMakeMinimalAcyclic) {
