@@ -1,7 +1,8 @@
 // pf_sim — run the flit-level network simulator from the command line:
 // one topology, one routing algorithm, one traffic pattern, one load, a
-// whole latency-vs-load sweep, or an adaptive saturation search. The CLI
-// twin of the Fig. 8-11 benches, driving the same src/exp engine.
+// whole latency-vs-load sweep, an adaptive saturation search — or a whole
+// declarative scenario suite. The CLI twin of the figure benches, driving
+// the same src/exp engine.
 //
 //   pf_sim --topology pf --q 13 --routing UGALPF --pattern uniform
 //          --loads 0.1:1.0:8 [--endpoints P] [--packet-size 4] [--vcs 16]
@@ -9,6 +10,8 @@
 //          [--ugal-threshold X] [--json PATH] [--csv PATH]
 //   pf_sim ... --saturation-search [--sat-lo 0.05] [--sat-hi 1.0]
 //          [--sat-tol 0.02] [--sat-iters 10]
+//   pf_sim suite <file.json> [--json PATH|-] [--quiet]
+//   pf_sim keys <records.json>
 //
 // Patterns: uniform | tornado | randperm | perm1hop | perm2hop | bitcomp
 // Routing:  MIN | VAL | CVAL | UGAL | UGALPF | NCA (fat tree) | ALG (PF)
@@ -20,6 +23,7 @@
 #include "exp/engine.hpp"
 #include "exp/results.hpp"
 #include "exp/scenario.hpp"
+#include "exp/suite.hpp"
 #include "sim/deadlock.hpp"
 #include "sim/harness.hpp"
 #include "sim/network.hpp"
@@ -28,6 +32,7 @@
 #include "topo/registry.hpp"
 #include "topo_args.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace pf::apps {
@@ -37,6 +42,10 @@ int usage() {
   std::printf(
       "pf_sim --topology F [family params] --routing R --pattern P\n"
       "       (--load X | --loads lo:hi:count | --saturation-search)\n"
+      "pf_sim suite <file.json> [--json PATH|-] [--quiet]\n"
+      "       run a polarfly-suite/1 scenario suite end-to-end\n"
+      "pf_sim keys <records.json>\n"
+      "       print the record keys of a polarfly-run/1 document\n"
       "\n"
       "options:\n"
       "  --endpoints N    endpoints per router (default: radix/2 balanced)\n"
@@ -63,8 +72,69 @@ int usage() {
   return 2;
 }
 
+/// `pf_sim suite <file.json>`: load, expand, run, print — and emit the
+/// whole suite as one polarfly-run/1 document via --json (PATH or "-").
+int run_suite(const util::CliArgs& args) {
+  const std::string path = args.positional(0, "suite file");
+  const exp::Suite suite = exp::load_suite(path);
+  // Tables go to stdout — unless the JSON document does ("--json -"), in
+  // which case stdout must stay a single well-formed document and the
+  // progress falls back to the --quiet stderr lines.
+  const bool quiet =
+      args.has("quiet") || args.str_or("json", "") == "-";
+  std::fprintf(stderr, "suite %s: %zu case(s)\n",
+               suite.name.empty() ? path.c_str() : suite.name.c_str(),
+               suite.cases.size());
+
+  exp::ResultLog log;
+  exp::SuiteRunner runner;
+  const std::size_t skipped = runner.run(
+      suite, log,
+      [quiet](const exp::RunRecord& record, std::size_t index,
+              std::size_t total) {
+        if (quiet) {
+          std::fprintf(stderr, "  [%zu/%zu] %s\n", index + 1, total,
+                       record.label.c_str());
+        } else {
+          exp::print_run(record);
+        }
+      });
+  if (skipped > 0) {
+    std::fprintf(stderr, "suite: %zu case(s) skipped\n", skipped);
+  }
+  return exp::finish(args, log, "pf_sim suite");
+}
+
+/// `pf_sim keys <records.json>`: one record key per line — the CI
+/// schema-drift gate diffs this against a committed expectation.
+int run_keys(const util::CliArgs& args) {
+  const std::string path = args.positional(0, "records file");
+  std::string text;
+  if (!util::read_text_file(path, text)) {
+    std::fprintf(stderr, "pf_sim keys: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const exp::RunDocument doc = exp::parse_run_document(text);
+  for (const auto& record : doc.records) {
+    std::printf("%s\n", exp::record_key(record).c_str());
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const util::CliArgs args = util::CliArgs::parse(argc, argv);
+  if (args.command() == "suite") return run_suite(args);
+  if (args.command() == "keys") return run_keys(args);
+  if (!args.command().empty()) {
+    std::fprintf(stderr, "pf_sim: unknown subcommand '%s'\n",
+                 args.command().c_str());
+    return usage();
+  }
+  if (!args.positionals().empty()) {
+    std::fprintf(stderr, "pf_sim: unexpected argument '%s'\n",
+                 args.positionals().front().c_str());
+    return usage();
+  }
   if (!args.has("topology")) return usage();
 
   const auto inst = topology_from_args(args);

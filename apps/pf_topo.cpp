@@ -312,6 +312,10 @@ int run(int argc, char** argv) {
   for (const auto& key : args.unused_keys()) {
     std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
   }
+  for (const auto& operand : args.unused_positionals()) {
+    std::fprintf(stderr, "warning: unused argument '%s'\n",
+                 operand.c_str());
+  }
   return status;
 }
 

@@ -2,52 +2,86 @@
 // failures raise the diameter (2 -> 3/4, Fig. 14); table-based routing
 // recomputed on the surviving graph keeps the network serving traffic with
 // modest latency/throughput loss — the operational complement to the
-// purely structural resilience figure. --json <path> emits RunRecords.
+// purely structural resilience figure. The damage is declared as suite
+// failure specs (seeded link kill-rates) and executed by the shared
+// SuiteRunner — no hand-mutated graphs. --json <path> emits RunRecords.
 #include <cstdio>
+#include <string>
 
 #include "common.hpp"
-#include "graph/algos.hpp"
-#include "util/rng.hpp"
+#include "exp/suite.hpp"
 
 int main(int argc, char** argv) {
   using namespace pf;
   const util::CliArgs args = util::CliArgs::parse(argc, argv);
   const std::uint32_t q = bench::full_scale() ? 31 : 13;
   const int p = bench::full_scale() ? 16 : 7;
-  const core::PolarFly pf(q);
-  std::printf("PolarFly q=%u (%d routers), uniform traffic\n", q,
-              pf.num_vertices());
-  exp::ResultLog log;
+  const std::string topology =
+      "pf:q=" + std::to_string(q) + ",p=" + std::to_string(p);
+  const sim::SimConfig config = bench::bench_sim_config();
 
-  util::print_banner("performance vs failed-link fraction");
+  // The suite: one entry per failure rate, MIN and UGAL-PF over each
+  // damaged graph. Seeds 0xdead11+pct reproduce the historical kill sets.
+  std::string doc =
+      "{\n"
+      "  \"schema\": \"polarfly-suite/1\",\n"
+      "  \"name\": \"ablation_failed_links\",\n"
+      "  \"defaults\": {\n"
+      "    \"topology\": \"" + topology + "\",\n"
+      "    \"routing\": [\"MIN\", \"UGALPF\"],\n"
+      "    \"pattern\": \"uniform\",\n"
+      "    \"loads\": {\"lo\": 0.3, \"hi\": 0.9, \"count\": 4},\n"
+      "    \"config\": " + bench::suite_config_json(config) + "\n"
+      "  },\n"
+      "  \"scenarios\": [\n";
+  const std::vector<int> pcts = {0, 5, 10, 20, 30};
+  for (std::size_t i = 0; i < pcts.size(); ++i) {
+    const int pct = pcts[i];
+    doc += "    {\"name\": \"PF-" + std::to_string(pct) + "pct\"";
+    if (pct > 0) {
+      char rate[16];
+      std::snprintf(rate, sizeof(rate), "0.%02d", pct);
+      doc += ", \"failures\": [{\"link_rate\": " + std::string(rate) +
+             ", \"seed\": " + std::to_string(0xdead11ULL + pct) + "}]";
+    }
+    doc += i + 1 < pcts.size() ? "},\n" : "}\n";
+  }
+  doc += "  ]\n}\n";
+
+  const exp::Suite suite = exp::parse_suite(doc);
+  const core::PolarFly pf(q);
+  std::printf("PolarFly q=%u (%d routers), uniform traffic, %zu cases\n", q,
+              pf.num_vertices(), suite.cases.size());
+
+  exp::ResultLog log;
+  exp::SuiteRunner runner;
   util::Table table({"failed", "diameter", "routing", "saturation",
                      "latency @ 0.3"});
-  for (const int pct : {0, 5, 10, 20, 30}) {
-    auto edges = pf.graph().edge_list();
-    util::Rng rng(0xdead11ULL + pct);
-    util::shuffle(edges, rng);
-    edges.resize(edges.size() * pct / 100);
-    const graph::Graph damaged = pf.graph().without_edges(edges);
-    if (!graph::is_connected(damaged)) {
-      table.row(pct / 100.0, "-", "-", "disconnected", "-");
-      continue;
-    }
-    const auto stats = graph::all_pairs_stats(damaged);
-
-    const auto setup = bench::make_graph_setup(
-        "PF-" + std::to_string(pct) + "pct", damaged, p);
-    const auto pattern = bench::make_pattern(setup, "uniform", 0);
-    for (const char* kind : {"MIN", "UGALPF"}) {
-      const auto routing = bench::make_routing(setup, kind);
-      auto run = exp::run_sweep(setup, *routing, *pattern,
-                                bench::bench_sim_config(),
-                                sim::load_steps(0.3, 0.9, 4),
-                                setup.name + "-" + kind);
-      table.row(pct / 100.0, stats.diameter, kind, run.saturation(),
-                run.points.front().avg_latency);
-      log.add(std::move(run));
+  // Structural diameters are read inside the callback, while the runner's
+  // damaged-setup cache is still warm (run() evicts damaged entries when
+  // it finishes). Cases the runner skipped (damage disconnected the
+  // graph) must still show up as rows, not silently vanish.
+  std::vector<char> ran(suite.cases.size(), 0);
+  auto& registry = exp::ScenarioRegistry::shared();
+  runner.run(suite, log,
+             [&](const exp::RunRecord& record, std::size_t index,
+                 std::size_t) {
+               ran[index] = 1;
+               const auto& spec = suite.cases[index].spec;
+               const auto setup =
+                   registry.topology(spec.topology, spec.failure);
+               table.row(spec.failure.link_rate, setup->oracle->diameter(),
+                         record.routing, record.saturation(),
+                         record.points.front().avg_latency);
+             });
+  for (std::size_t i = 0; i < suite.cases.size(); ++i) {
+    if (!ran[i]) {
+      table.row(suite.cases[i].spec.failure.link_rate, "-",
+                suite.cases[i].spec.routing, "disconnected", "-");
     }
   }
+
+  util::print_banner("performance vs failed-link fraction");
   table.print();
   std::printf(
       "\nRouting tables are recomputed on the surviving graph (the paper's "

@@ -3,31 +3,19 @@
 // has the same radix q + 1 as ER_q but 2(q^2+q+1) routers at diameter 3;
 // gluing each point to its polar line halves the router count AND drops
 // the diameter to 2. This bench makes the trade measurable: structure
-// side by side, then uniform-traffic latency/saturation at equal radix
-// and equal concentration.
+// side by side, then a two-topology suite (ER_q vs B(q) at equal radix
+// and concentration) through the shared runner. --json emits RunRecords.
 #include <cstdio>
+#include <string>
 
 #include "common.hpp"
+#include "exp/suite.hpp"
 #include "graph/algos.hpp"
-#include "graph/flow.hpp"
 #include "topo/brown.hpp"
 
-namespace {
-
-pf::bench::NetSetup make_brown_setup(std::uint32_t q, int p) {
-  pf::bench::NetSetup setup;
-  setup.name = "B(" + std::to_string(q) + ")";
-  setup.graph = pf::topo::BrownIncidence(q).graph();
-  setup.endpoints =
-      pf::sim::uniform_endpoints(setup.graph.num_vertices(), p);
-  setup.oracle = std::make_unique<pf::sim::DistanceOracle>(setup.graph);
-  return setup;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace pf;
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
 
   util::print_banner("polarity quotient: ER_q vs its bipartite parent B(q)");
   util::Table structure({"network", "routers", "radix", "diameter",
@@ -49,26 +37,35 @@ int main() {
 
   const std::uint32_t q = bench::full_scale() ? 31 : 13;
   const int p = static_cast<int>(q + 1) / 2;
+  const sim::SimConfig config = bench::bench_sim_config();
+  const std::string doc =
+      "{\n"
+      "  \"schema\": \"polarfly-suite/1\",\n"
+      "  \"name\": \"ablation_polarity_quotient\",\n"
+      "  \"scenarios\": [\n"
+      "    {\"topology\": [\"pf:q=" + std::to_string(q) + ",p=" +
+      std::to_string(p) + "\", \"brown:q=" + std::to_string(q) + ",p=" +
+      std::to_string(p) + "\"],\n"
+      "     \"routing\": \"MIN\", \"pattern\": \"uniform\",\n"
+      "     \"loads\": {\"lo\": 0.2, \"hi\": 1.0, \"count\": 5},\n"
+      "     \"config\": " + bench::suite_config_json(config) + "}\n"
+      "  ]\n}\n";
+  const exp::Suite suite = exp::parse_suite(doc);
+
   util::print_banner("uniform traffic, MIN routing, p=" + std::to_string(p));
+  exp::ResultLog log;
+  exp::SuiteRunner runner;
+  runner.run(suite, log);
+
   util::Table perf({"network", "routers", "saturation", "latency @ 0.2"});
-  {
-    auto pf_setup = bench::make_polarfly_setup(q, p);
-    auto brown_setup = make_brown_setup(q, p);
-    for (const auto* setup : {&pf_setup, &brown_setup}) {
-      const sim::MinimalRouting routing(setup->graph, *setup->oracle);
-      const sim::UniformTraffic pattern(setup->terminals());
-      const auto sweep = sim::sweep_loads(
-          setup->graph, setup->endpoints, routing, pattern,
-          bench::bench_sim_config(), sim::load_steps(0.2, 1.0, 5),
-          setup->name);
-      perf.row(setup->name, setup->graph.num_vertices(),
-               sweep.saturation(), sweep.points.front().avg_latency);
-    }
+  for (const auto& record : log.records()) {
+    perf.row(record.topology, record.routers, record.saturation(),
+             record.points.front().avg_latency);
   }
   perf.print();
   std::printf(
       "\nThe quotient halves the router count, drops the diameter from 3\n"
       "to 2, and cuts zero-load latency accordingly - the construction\n"
       "step that turns the incidence structure into PolarFly.\n");
-  return 0;
+  return bench::finish(args, log, "ablation_polarity_quotient");
 }

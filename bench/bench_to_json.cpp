@@ -3,15 +3,17 @@
 //
 //   bench_to_json --out BENCH_all.json fig08.json fig10.json ...
 //
-// Each input must be a JSON document (as emitted via --json or Google
-// Benchmark's --benchmark_out); it is embedded verbatim under its
-// basename, so downstream tooling can track per-bench trajectories
-// across commits from a single artifact.
-#include <cctype>
+// polarfly-run/1 inputs are parsed record by record (the util/json
+// reader) and re-emitted per file with identical run keys deduplicated
+// across the whole aggregate — reruns of the same scenario collapse to
+// the first occurrence. Any other valid JSON (e.g. Google Benchmark's
+// --benchmark_out) is parsed for validity and embedded under "raw".
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "exp/results.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -22,46 +24,6 @@ int usage() {
   return 2;
 }
 
-/// Cheap structural sanity check: a JSON document starts with { or [,
-/// its braces/brackets balance outside of strings, and nothing but
-/// whitespace follows the first top-level value (rejects concatenated
-/// documents, which would corrupt the aggregate when embedded verbatim).
-bool looks_like_json(const std::string& text) {
-  std::size_t i = 0;
-  while (i < text.size() && std::isspace(static_cast<unsigned char>(
-                                text[i]))) {
-    ++i;
-  }
-  if (i == text.size() || (text[i] != '{' && text[i] != '[')) return false;
-  long depth = 0;
-  bool in_string = false;
-  bool escaped = false;
-  bool closed = false;  // first top-level value fully consumed
-  for (; i < text.size(); ++i) {
-    const char c = text[i];
-    if (in_string) {
-      if (escaped) {
-        escaped = false;
-      } else if (c == '\\') {
-        escaped = true;
-      } else if (c == '"') {
-        in_string = false;
-      }
-      continue;
-    }
-    if (closed && !std::isspace(static_cast<unsigned char>(c))) {
-      return false;  // trailing content after the document
-    }
-    if (c == '"') in_string = true;
-    else if (c == '{' || c == '[') ++depth;
-    else if (c == '}' || c == ']') {
-      if (--depth == 0) closed = true;
-    }
-    if (depth < 0) return false;
-  }
-  return closed && !in_string;
-}
-
 std::string basename_of(const std::string& path) {
   const auto slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
@@ -70,6 +32,7 @@ std::string basename_of(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace pf;
   std::string out_path;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
@@ -85,44 +48,84 @@ int main(int argc, char** argv) {
   }
   if (out_path.empty() || inputs.empty()) return usage();
 
-  pf::util::JsonWriter json;
-  json.begin_object();
-  json.key("schema").value("polarfly-bench-aggregate/1");
-  json.key("runs").begin_array();
+  util::JsonWriter runs_json;
+  runs_json.begin_array();
+  util::JsonWriter raw_json;
+  raw_json.begin_array();
+
+  std::set<std::string> seen_keys;
+  std::size_t records_kept = 0, duplicates = 0, raw_count = 0;
   int failures = 0;
   for (const auto& path : inputs) {
     std::string content;
-    if (!pf::util::read_text_file(path, content)) {
+    if (!util::read_text_file(path, content)) {
       std::fprintf(stderr, "bench_to_json: cannot read %s\n", path.c_str());
       ++failures;
       continue;
     }
-    if (!looks_like_json(content)) {
-      std::fprintf(stderr, "bench_to_json: %s is not valid JSON, skipped\n",
-                   path.c_str());
+    util::JsonValue parsed;
+    try {
+      parsed = util::json_parse(content);
+    } catch (const util::JsonError& e) {
+      std::fprintf(stderr, "bench_to_json: %s: %s, skipped\n", path.c_str(),
+                   e.what());
       ++failures;
       continue;
     }
-    // Strip trailing whitespace so the embedding stays tidy.
-    while (!content.empty() &&
-           std::isspace(static_cast<unsigned char>(content.back()))) {
-      content.pop_back();
+    const util::JsonValue* schema = parsed.find("schema");
+    if (schema != nullptr && schema->is_string() &&
+        schema->as_string() == "polarfly-run/1") {
+      exp::RunDocument doc;
+      try {
+        doc = exp::parse_run_document(parsed);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_to_json: %s: %s, skipped\n",
+                     path.c_str(), e.what());
+        ++failures;
+        continue;
+      }
+      runs_json.begin_object();
+      runs_json.key("file").value(basename_of(path));
+      runs_json.key("tool").value(doc.tool);
+      runs_json.key("records").begin_array();
+      for (const auto& record : doc.records) {
+        if (!seen_keys.insert(exp::record_key(record)).second) {
+          ++duplicates;
+          continue;
+        }
+        exp::append_record_json(runs_json, record);
+        ++records_kept;
+      }
+      runs_json.end_array();
+      runs_json.end_object();
+    } else {
+      // Foreign but valid JSON (micro-bench output): embed as parsed.
+      raw_json.begin_object();
+      raw_json.key("file").value(basename_of(path));
+      raw_json.key("data");
+      parsed.write(raw_json);
+      raw_json.end_object();
+      ++raw_count;
     }
-    json.begin_object();
-    json.key("file").value(basename_of(path));
-    json.key("data").raw(content);
-    json.end_object();
   }
-  json.end_array();
+  runs_json.end_array();
+  raw_json.end_array();
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("polarfly-bench-aggregate/2");
+  json.key("runs").raw(runs_json.str());
+  json.key("raw").raw(raw_json.str());
   json.end_object();
 
-  if (!pf::util::write_text_file(out_path, json.str() + "\n")) {
+  if (!util::write_text_file(out_path, json.str() + "\n")) {
     std::fprintf(stderr, "bench_to_json: cannot write %s\n",
                  out_path.c_str());
     return 1;
   }
-  std::printf("bench_to_json: wrote %zu run(s) to %s\n",
-              inputs.size() - static_cast<std::size_t>(failures),
-              out_path.c_str());
+  std::printf(
+      "bench_to_json: %zu record(s) (%zu duplicate key(s) dropped), "
+      "%zu raw document(s) -> %s\n",
+      records_kept, duplicates, raw_count, out_path.c_str());
   return failures == 0 ? 0 : 1;
 }

@@ -62,21 +62,21 @@ inline std::vector<NetSetup> make_table5_setups() {
   return exp::make_table5_setups(full_scale());
 }
 
-/// Prints one latency-vs-load series as a table section.
-inline void print_sweep(const sim::SweepResult& sweep) {
-  util::Table table(
-      {"offered", "accepted", "avg_latency", "p99_latency", "stable"});
-  for (const auto& point : sweep.points) {
-    table.row(point.offered, point.accepted, point.avg_latency,
-              point.p99_latency, point.converged ? "yes" : "no");
-  }
-  util::print_banner(sweep.label);
-  table.print();
-  std::printf("saturation throughput: %.3f flits/cycle/endpoint\n",
-              sweep.saturation());
+/// `config` as a polarfly-suite/1 "config" object — the one serializer
+/// the suite-driven benches share, so a new SimConfig field only needs
+/// adding here (every field the suite schema knows is emitted).
+inline std::string suite_config_json(const sim::SimConfig& config) {
+  return "{\"packet_size\": " + std::to_string(config.packet_size) +
+         ", \"vcs\": " + std::to_string(config.vcs) +
+         ", \"buf_per_port\": " + std::to_string(config.buf_per_port) +
+         ", \"warmup\": " + std::to_string(config.warmup_cycles) +
+         ", \"measure\": " + std::to_string(config.measure_cycles) +
+         ", \"drain\": " + std::to_string(config.drain_cycles) +
+         ", \"seed\": " + std::to_string(config.seed) + "}";
 }
 
-/// Prints one engine RunRecord the same way (same columns and footer).
+/// Prints one engine RunRecord as a table section (columns + saturation
+/// footer).
 using exp::print_run;
 
 inline std::vector<double> default_loads() {

@@ -2,67 +2,82 @@
 // UGAL-PF routing. Quadric replication keeps diameter 2 but skews the
 // degree distribution (throughput sags as replicas pile up); non-quadric
 // replication spreads new links nearly uniformly and loses little
-// throughput after the first replication.
+// throughput after the first replication. The expanded networks are the
+// registry's polarfly-exp family, so each panel is a declarative suite
+// over ["pf:...", "pfx:..."] and main() just loads, runs and prints.
+// --json <path> emits RunRecords.
 #include <cstdio>
+#include <string>
 
 #include "common.hpp"
-#include "core/expansion.hpp"
+#include "exp/suite.hpp"
 
 namespace {
 
 using namespace pf;
 
-void run_expansion(const core::PolarFly& pf, const core::Layout& layout,
-                   bool quadric, int p, const std::vector<int>& steps) {
-  const auto loads = bench::default_loads();
-  {
-    // Baseline: unexpanded network.
-    auto setup = bench::make_polarfly_setup(pf.q(), p, "PF");
-    const sim::UniformTraffic pattern(setup.terminals());
-    const auto routing = bench::make_routing(setup, "UGALPF");
-    bench::print_sweep(sim::sweep_loads(
-        setup.graph, setup.endpoints, *routing, pattern,
-        bench::bench_sim_config(), loads, "PF-UGALPF (base)"));
-  }
+/// The suite for one panel: base ER_q plus `steps` replications.
+exp::Suite panel_suite(std::uint32_t q, int p, bool quadric,
+                       const std::vector<int>& steps) {
+  const sim::SimConfig config = bench::bench_sim_config();
+  const int load_count = bench::full_scale() ? 10 : 8;
+  std::string doc =
+      "{\n"
+      "  \"schema\": \"polarfly-suite/1\",\n"
+      "  \"name\": \"fig11_expansion_perf\",\n"
+      "  \"defaults\": {\n"
+      "    \"routing\": \"UGALPF\",\n"
+      "    \"pattern\": \"uniform\",\n"
+      "    \"loads\": {\"lo\": 0.1, \"hi\": 1.0, \"count\": " +
+      std::to_string(load_count) + "},\n"
+      "    \"config\": " + bench::suite_config_json(config) + "\n"
+      "  },\n"
+      "  \"scenarios\": [\n"
+      "    {\"name\": \"PF-UGALPF (base)\", \"topology\": \"pf:q=" +
+      std::to_string(q) + ",p=" + std::to_string(p) + "\"}";
   for (const int n : steps) {
-    const auto expanded = quadric ? core::expand_quadric(pf, layout, n)
-                                  : core::expand_nonquadric(pf, layout, n);
-    const int growth_pct =
-        100 * (expanded.graph.num_vertices() - pf.num_vertices()) /
-        pf.num_vertices();
-    bench::NetSetup setup;
-    setup.name = "PF+" + std::to_string(growth_pct) + "%";
-    setup.graph = expanded.graph;
-    setup.endpoints =
-        sim::uniform_endpoints(setup.graph.num_vertices(), p);
-    setup.oracle = std::make_unique<sim::DistanceOracle>(setup.graph);
-    const sim::UniformTraffic pattern(setup.terminals());
-    const auto routing = bench::make_routing(setup, "UGALPF");
-    bench::print_sweep(sim::sweep_loads(
-        setup.graph, setup.endpoints, *routing, pattern,
-        bench::bench_sim_config(), loads,
-        setup.name + "-UGALPF (" + (quadric ? "quadric" : "non-quadric") +
-            ", n=" + std::to_string(n) + ")"));
+    doc += ",\n    {\"name\": \"PF-UGALPF (" +
+           std::string(quadric ? "quadric" : "non-quadric") +
+           ", n=" + std::to_string(n) + ")\", \"topology\": \"pfx:q=" +
+           std::to_string(q) + ",n=" + std::to_string(n) +
+           ",quadric=" + (quadric ? "1" : "0") +
+           ",p=" + std::to_string(p) + "\"}";
   }
+  doc += "\n  ]\n}\n";
+  return exp::parse_suite(doc);
+}
+
+void run_panel(exp::ResultLog& log, const exp::Suite& suite, int base_n) {
+  exp::SuiteRunner runner;
+  runner.run(suite, log,
+             [base_n](const exp::RunRecord& record, std::size_t, std::size_t) {
+               if (record.routers > base_n) {
+                 std::printf("growth: +%d%% routers (%d)\n",
+                             100 * (record.routers - base_n) / base_n,
+                             record.routers);
+               }
+               exp::print_run(record);
+             });
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pf;
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
   const std::uint32_t q = bench::full_scale() ? 31 : 13;
   const int p = bench::full_scale() ? 16 : 7;
   const std::vector<int> steps = bench::full_scale()
                                      ? std::vector<int>{3, 6, 9, 12}
                                      : std::vector<int>{1, 2, 3, 4};
-  const core::PolarFly pf(q);
-  const core::Layout layout = core::make_layout(pf);
-  std::printf("base: ER_%u (%d routers), p=%d\n", q, pf.num_vertices(), p);
+  const int base_n = static_cast<int>(q * q + q + 1);
+  std::printf("base: ER_%u (%d routers), p=%d\n", q, base_n, p);
+  exp::ResultLog log;
 
   util::print_banner("Fig. 11a - quadric cluster replication");
-  run_expansion(pf, layout, /*quadric=*/true, p, steps);
+  run_panel(log, panel_suite(q, p, /*quadric=*/true, steps), base_n);
 
   util::print_banner("Fig. 11b - non-quadric cluster replication");
-  run_expansion(pf, layout, /*quadric=*/false, p, steps);
-  return 0;
+  run_panel(log, panel_suite(q, p, /*quadric=*/false, steps), base_n);
+  return bench::finish(args, log, "fig11_expansion_perf");
 }

@@ -1,6 +1,7 @@
 #include "exp/results.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "util/json.hpp"
 
@@ -29,6 +30,46 @@ void print_run(const RunRecord& record) {
   }
 }
 
+void append_record_json(util::JsonWriter& json, const RunRecord& record) {
+  json.begin_object();
+  json.key("label").value(record.label);
+  json.key("topology").value(record.topology);
+  json.key("routing").value(record.routing);
+  json.key("pattern").value(record.pattern);
+  json.key("routers").value(record.routers);
+  json.key("terminals").value(record.terminals);
+  json.key("seed").value(static_cast<std::uint64_t>(record.seed));
+  if (record.pattern_seed != 0) {
+    json.key("pattern_seed")
+        .value(static_cast<std::uint64_t>(record.pattern_seed));
+  }
+  json.key("saturation").value(record.saturation());
+  if (record.saturation_estimate > 0.0) {
+    json.key("saturation_estimate").value(record.saturation_estimate);
+  }
+  json.key("points").begin_array();
+  for (const auto& point : record.points) {
+    json.begin_object();
+    json.key("offered").value(point.offered);
+    json.key("accepted").value(point.accepted);
+    json.key("avg_latency").value(point.avg_latency);
+    json.key("p99_latency").value(point.p99_latency);
+    json.key("converged").value(point.converged);
+    json.key("mean_hops").value(point.mean_hops);
+    json.key("cycles").value(point.cycles);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("perf").begin_object();
+  json.key("sim_cycles").value(record.perf.sim_cycles);
+  json.key("wall_seconds").value(record.perf.wall_seconds);
+  json.key("cycles_per_sec").value(record.perf.cycles_per_sec);
+  json.key("mean_hop_count").value(record.perf.mean_hop_count);
+  json.key("peak_vc_occupancy").value(record.perf.peak_vc_occupancy);
+  json.end_object();
+  json.end_object();
+}
+
 std::string to_json(const std::vector<RunRecord>& records,
                     const std::string& tool) {
   util::JsonWriter json;
@@ -36,45 +77,7 @@ std::string to_json(const std::vector<RunRecord>& records,
   json.key("schema").value("polarfly-run/1");
   json.key("tool").value(tool);
   json.key("records").begin_array();
-  for (const auto& record : records) {
-    json.begin_object();
-    json.key("label").value(record.label);
-    json.key("topology").value(record.topology);
-    json.key("routing").value(record.routing);
-    json.key("pattern").value(record.pattern);
-    json.key("routers").value(record.routers);
-    json.key("terminals").value(record.terminals);
-    json.key("seed").value(static_cast<std::uint64_t>(record.seed));
-    if (record.pattern_seed != 0) {
-      json.key("pattern_seed")
-          .value(static_cast<std::uint64_t>(record.pattern_seed));
-    }
-    json.key("saturation").value(record.saturation());
-    if (record.saturation_estimate > 0.0) {
-      json.key("saturation_estimate").value(record.saturation_estimate);
-    }
-    json.key("points").begin_array();
-    for (const auto& point : record.points) {
-      json.begin_object();
-      json.key("offered").value(point.offered);
-      json.key("accepted").value(point.accepted);
-      json.key("avg_latency").value(point.avg_latency);
-      json.key("p99_latency").value(point.p99_latency);
-      json.key("converged").value(point.converged);
-      json.key("mean_hops").value(point.mean_hops);
-      json.key("cycles").value(point.cycles);
-      json.end_object();
-    }
-    json.end_array();
-    json.key("perf").begin_object();
-    json.key("sim_cycles").value(record.perf.sim_cycles);
-    json.key("wall_seconds").value(record.perf.wall_seconds);
-    json.key("cycles_per_sec").value(record.perf.cycles_per_sec);
-    json.key("mean_hop_count").value(record.perf.mean_hop_count);
-    json.key("peak_vc_occupancy").value(record.perf.peak_vc_occupancy);
-    json.end_object();
-    json.end_object();
-  }
+  for (const auto& record : records) append_record_json(json, record);
   json.end_array();
   json.end_object();
   return json.str();
@@ -83,7 +86,102 @@ std::string to_json(const std::vector<RunRecord>& records,
 bool write_json(const std::string& path,
                 const std::vector<RunRecord>& records,
                 const std::string& tool) {
-  return util::write_text_file(path, to_json(records, tool) + "\n");
+  const std::string document = to_json(records, tool) + "\n";
+  if (path == "-") {
+    std::fputs(document.c_str(), stdout);
+    return true;
+  }
+  return util::write_text_file(path, document);
+}
+
+RunDocument parse_run_document(const std::string& json_text) {
+  return parse_run_document(util::json_parse(json_text));
+}
+
+RunDocument parse_run_document(const util::JsonValue& root) {
+  RunDocument doc;
+  doc.schema = root.at("schema").as_string();
+  if (doc.schema != "polarfly-run/1") {
+    throw std::invalid_argument("document schema '" + doc.schema +
+                                "' is not polarfly-run/1");
+  }
+  doc.tool = root.at("tool").as_string();
+  for (const auto& r : root.at("records").items()) {
+    RunRecord record;
+    for (const auto& [key, value] : r.members()) {
+      if (key == "label") record.label = value.as_string();
+      else if (key == "topology") record.topology = value.as_string();
+      else if (key == "routing") record.routing = value.as_string();
+      else if (key == "pattern") record.pattern = value.as_string();
+      else if (key == "routers") record.routers = static_cast<int>(value.as_int());
+      else if (key == "terminals") record.terminals = static_cast<int>(value.as_int());
+      else if (key == "seed") record.seed = value.as_uint();
+      else if (key == "pattern_seed") record.pattern_seed = value.as_uint();
+      else if (key == "saturation") {
+        // Derived from the points; nothing to restore.
+      } else if (key == "saturation_estimate") {
+        record.saturation_estimate = value.as_double();
+      } else if (key == "points") {
+        for (const auto& p : value.items()) {
+          RunPoint point;
+          for (const auto& [pkey, pvalue] : p.members()) {
+            if (pkey == "offered") point.offered = pvalue.as_double();
+            else if (pkey == "accepted") point.accepted = pvalue.as_double();
+            else if (pkey == "avg_latency") point.avg_latency = pvalue.as_double();
+            else if (pkey == "p99_latency") point.p99_latency = pvalue.as_double();
+            else if (pkey == "converged") point.converged = pvalue.as_bool();
+            else if (pkey == "mean_hops") point.mean_hops = pvalue.as_double();
+            else if (pkey == "cycles") point.cycles = pvalue.as_int();
+            else {
+              throw std::invalid_argument("unknown point key '" + pkey + "'");
+            }
+          }
+          record.points.push_back(point);
+        }
+      } else if (key == "perf") {
+        for (const auto& [pkey, pvalue] : value.members()) {
+          if (pkey == "sim_cycles") record.perf.sim_cycles = pvalue.as_int();
+          else if (pkey == "wall_seconds") record.perf.wall_seconds = pvalue.as_double();
+          else if (pkey == "cycles_per_sec") record.perf.cycles_per_sec = pvalue.as_double();
+          else if (pkey == "mean_hop_count") record.perf.mean_hop_count = pvalue.as_double();
+          else if (pkey == "peak_vc_occupancy") {
+            record.perf.peak_vc_occupancy = static_cast<int>(pvalue.as_int());
+          } else {
+            throw std::invalid_argument("unknown perf key '" + pkey + "'");
+          }
+        }
+      } else {
+        throw std::invalid_argument("unknown record key '" + key + "'");
+      }
+    }
+    doc.records.push_back(std::move(record));
+  }
+  return doc;
+}
+
+std::string record_key(const RunRecord& record) {
+  std::string key = record.label + " | " + record.topology + " | " +
+                    record.routing + " | " + record.pattern +
+                    " | seed=" + std::to_string(record.seed);
+  if (record.pattern_seed != 0) {
+    key += " pattern_seed=" + std::to_string(record.pattern_seed);
+  }
+  // The load axis is part of the experiment's identity: without it, two
+  // same-named cases over different grids collapse to one key and the
+  // aggregator drops one as a duplicate. Fixed grids are spec-stable
+  // (first..last/count); saturation searches get a marker only — their
+  // probe sequence is a measurement, and keys must not drift when
+  // simulator values legitimately move.
+  if (record.saturation_estimate > 0.0) {
+    key += " | sat-search";
+  } else if (!record.points.empty()) {
+    char grid[64];
+    std::snprintf(grid, sizeof(grid), " | loads=%g..%g/%zu",
+                  record.points.front().offered,
+                  record.points.back().offered, record.points.size());
+    key += grid;
+  }
+  return key;
 }
 
 bool ResultLog::maybe_write(const util::CliArgs& args,
@@ -103,6 +201,10 @@ int finish(const util::CliArgs& args, const ResultLog& log,
   const bool ok = log.maybe_write(args, tool);
   for (const auto& key : args.unused_keys()) {
     std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+  }
+  for (const auto& operand : args.unused_positionals()) {
+    std::fprintf(stderr, "warning: unused argument '%s'\n",
+                 operand.c_str());
   }
   return ok ? 0 : 1;
 }

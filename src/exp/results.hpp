@@ -9,6 +9,7 @@
 
 #include "exp/engine.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace pf::exp {
@@ -25,10 +26,37 @@ void print_run(const RunRecord& record);
 std::string to_json(const std::vector<RunRecord>& records,
                     const std::string& tool);
 
-/// Writes to_json(records, tool) to `path`; false on I/O failure.
+/// One record object into an open array/value position of `out` — the
+/// building block to_json and the bench aggregator share.
+void append_record_json(util::JsonWriter& out, const RunRecord& record);
+
+/// Writes to_json(records, tool) to `path` ("-" = stdout); false on I/O
+/// failure.
 bool write_json(const std::string& path,
                 const std::vector<RunRecord>& records,
                 const std::string& tool);
+
+/// A parsed polarfly-run/1 document.
+struct RunDocument {
+  std::string schema;
+  std::string tool;
+  std::vector<RunRecord> records;
+};
+
+/// Parses a polarfly-run/1 document back into RunRecords — the exact
+/// inverse of to_json. Throws util::JsonError on malformed JSON and
+/// std::invalid_argument on schema violations (wrong schema string,
+/// unknown record keys), so trajectory tooling fails on drift instead of
+/// silently dropping fields. The JsonValue overload serves callers that
+/// already parsed the text (e.g. to sniff the schema).
+RunDocument parse_run_document(const std::string& json_text);
+RunDocument parse_run_document(const util::JsonValue& root);
+
+/// The identity of a record across reruns: label, scenario axes and
+/// seeds — everything that names the experiment, nothing that measures
+/// it. Two runs of the same suite produce the same key sequence even
+/// when every number moved.
+std::string record_key(const RunRecord& record);
 
 /// Collects the records a binary produces and handles its --json flag.
 class ResultLog {
@@ -37,8 +65,8 @@ class ResultLog {
   const std::vector<RunRecord>& records() const { return records_; }
 
   /// Writes the records to the --json path when the flag is present
-  /// (reporting failures on stderr); true when there was nothing to do or
-  /// the write succeeded.
+  /// ("-" streams to stdout; failures are reported on stderr); true when
+  /// there was nothing to do or the write succeeded.
   bool maybe_write(const util::CliArgs& args, const std::string& tool) const;
 
  private:

@@ -1,11 +1,13 @@
 #include "exp/scenario.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
 #include "topo/dragonfly.hpp"
 #include "topo/jellyfish.hpp"
 #include "topo/slimfly.hpp"
+#include "util/rng.hpp"
 
 namespace pf::exp {
 namespace {
@@ -39,6 +41,7 @@ std::string join_kinds(const std::vector<std::string>& kinds) {
 
 std::string canonical_family(const std::string& family) {
   if (family == "pf") return "polarfly";
+  if (family == "pfx") return "polarfly-exp";
   if (family == "sf") return "slimfly";
   if (family == "df") return "dragonfly";
   if (family == "ft") return "fattree";
@@ -47,6 +50,101 @@ std::string canonical_family(const std::string& family) {
 }
 
 }  // namespace
+
+std::string FailureSpec::canonical() const {
+  if (empty()) return "";
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += ',';
+    out += part;
+  };
+  if (link_rate > 0.0) {
+    // Shortest representation that round-trips: readable in labels
+    // ("kill=0.05", not "kill=0.050000000000000003") yet still an exact
+    // cache key.
+    char buf[40];
+    for (int precision = 3; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, link_rate);
+      if (std::stod(buf) == link_rate) break;
+    }
+    append("kill=" + std::string(buf) + "@" + std::to_string(seed));
+  }
+  if (!links.empty()) {
+    std::string part = "links=";
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (i > 0) part += ';';
+      part += std::to_string(links[i].first) + "-" +
+              std::to_string(links[i].second);
+    }
+    append(part);
+  }
+  if (!routers.empty()) {
+    std::string part = "routers=";
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      if (i > 0) part += ';';
+      part += std::to_string(routers[i]);
+    }
+    append(part);
+  }
+  return out;
+}
+
+graph::Graph apply_failures(const graph::Graph& g, const FailureSpec& spec,
+                            std::vector<char>* dead_router) {
+  if (dead_router != nullptr) {
+    dead_router->assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  }
+  if (spec.empty()) return g;
+
+  std::vector<graph::Edge> kill;
+  if (spec.link_rate > 0.0) {
+    // Shuffle the full (sorted) edge list and kill a prefix — the exact
+    // construction of the Fig. 14 / failed-links studies, so one seed
+    // yields nested kill sets across rates.
+    std::vector<graph::Edge> order = g.edge_list();
+    util::Rng rng(spec.seed);
+    util::shuffle(order, rng);
+    // The +1e-9 keeps pct/100.0-style rates on the integer-arithmetic
+    // count (E * pct / 100) the original benches used.
+    const auto count = static_cast<std::size_t>(
+        static_cast<double>(order.size()) * spec.link_rate + 1e-9);
+    order.resize(std::min(count, order.size()));
+    kill = std::move(order);
+  }
+  for (const auto& [u, v] : spec.links) {
+    if (u < 0 || v < 0 || u >= g.num_vertices() || v >= g.num_vertices()) {
+      throw std::invalid_argument(
+          "failure spec '" + spec.canonical() + "': link " +
+          std::to_string(u) + "-" + std::to_string(v) +
+          " out of range for a " + std::to_string(g.num_vertices()) +
+          "-router graph");
+    }
+    // A phantom link would silently yield an intact graph labeled as
+    // damaged — wrong conclusions with no error. Refuse it.
+    if (!g.has_edge(u, v)) {
+      throw std::invalid_argument(
+          "failure spec '" + spec.canonical() + "': link " +
+          std::to_string(u) + "-" + std::to_string(v) +
+          " does not exist in the graph");
+    }
+    kill.emplace_back(u, v);
+  }
+  for (const int r : spec.routers) {
+    if (r < 0 || r >= g.num_vertices()) {
+      throw std::invalid_argument(
+          "failure spec '" + spec.canonical() + "': router " +
+          std::to_string(r) + " out of range for a " +
+          std::to_string(g.num_vertices()) + "-router graph");
+    }
+    if (dead_router != nullptr) {
+      (*dead_router)[static_cast<std::size_t>(r)] = 1;
+    }
+    for (const std::int32_t u : g.neighbors(r)) {
+      kill.emplace_back(static_cast<std::int32_t>(r), u);
+    }
+  }
+  return g.without_edges(kill);
+}
 
 const std::vector<std::string>& routing_kinds() {
   static const std::vector<std::string> kinds = {
@@ -298,6 +396,59 @@ std::shared_ptr<const NetSetup> ScenarioRegistry::topology(
   return it->second;
 }
 
+std::shared_ptr<const NetSetup> ScenarioRegistry::topology(
+    const std::string& spec, const FailureSpec& failure) {
+  if (failure.empty()) return topology(spec);
+  // '|' never appears in a topology spec, so the combined key cannot
+  // collide with an intact entry.
+  const std::string key = spec + "|" + failure.canonical();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = topologies_.find(key);
+    if (it != topologies_.end()) return it->second;
+  }
+
+  const auto base = topology(spec);
+  std::vector<char> dead;
+  auto setup = std::make_shared<NetSetup>();
+  setup->name = base->name + " [" + failure.canonical() + "]";
+  setup->graph = apply_failures(base->graph, failure, &dead);
+  setup->endpoints = base->endpoints;
+  for (std::size_t v = 0; v < dead.size(); ++v) {
+    if (dead[v]) setup->endpoints[v] = 0;
+  }
+  // Oracles must see the damaged graph (minimal routing on the survivor
+  // paths); structural handles stay unset — ALG/NCA assume intact
+  // topology and refuse damaged setups via make_routing's checks.
+  setup->oracle = oracle(key, setup->graph);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = topologies_.emplace(key, std::move(setup));
+  return it->second;
+}
+
+std::size_t ScenarioRegistry::evict_damaged() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t evicted = 0;
+  for (auto it = topologies_.begin(); it != topologies_.end();) {
+    if (it->first.find('|') != std::string::npos) {
+      it = topologies_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = oracles_.begin(); it != oracles_.end();) {
+    if (it->first.find('|') != std::string::npos) {
+      it = oracles_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 std::shared_ptr<const sim::DistanceOracle> ScenarioRegistry::oracle(
     const std::string& key, const graph::Graph& g) {
   {
@@ -312,20 +463,37 @@ std::shared_ptr<const sim::DistanceOracle> ScenarioRegistry::oracle(
 }
 
 Scenario ScenarioRegistry::make(const ScenarioSpec& spec) {
-  Scenario scenario;
-  scenario.setup = topology(spec.topology);
-  scenario.routing =
-      make_routing(*scenario.setup, spec.routing, spec.routing_options);
-  const std::uint64_t seed =
-      spec.pattern_seed != 0 ? spec.pattern_seed : spec.config.seed;
-  scenario.pattern = make_pattern(*scenario.setup, spec.pattern, seed);
-  scenario.config = spec.config;
-  scenario.label = !spec.name.empty()
-                       ? spec.name
-                       : scenario.setup->name + " / " +
-                             scenario.routing->name() + " / " +
-                             scenario.pattern->name();
-  return scenario;
+  // Factory errors name the full offending spec, not just the one bad
+  // field — a suite of hundreds of expanded cases is undebuggable
+  // otherwise.
+  const auto describe = [&spec]() {
+    std::string out = "scenario {topology='" + spec.topology +
+                      "', routing='" + spec.routing + "', pattern='" +
+                      spec.pattern + "'";
+    if (!spec.failure.empty()) {
+      out += ", failure='" + spec.failure.canonical() + "'";
+    }
+    if (!spec.name.empty()) out += ", name='" + spec.name + "'";
+    return out + "}";
+  };
+  try {
+    Scenario scenario;
+    scenario.setup = topology(spec.topology, spec.failure);
+    scenario.routing =
+        make_routing(*scenario.setup, spec.routing, spec.routing_options);
+    const std::uint64_t seed =
+        spec.pattern_seed != 0 ? spec.pattern_seed : spec.config.seed;
+    scenario.pattern = make_pattern(*scenario.setup, spec.pattern, seed);
+    scenario.config = spec.config;
+    scenario.label = !spec.name.empty()
+                         ? spec.name
+                         : scenario.setup->name + " / " +
+                               scenario.routing->name() + " / " +
+                               scenario.pattern->name();
+    return scenario;
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(describe() + ": " + e.what());
+  }
 }
 
 std::vector<std::string> ScenarioRegistry::cached_topologies() const {

@@ -96,6 +96,41 @@ NetSetup make_fattree_setup(int levels, int arity);
 /// The Tab. V configuration set (or its reduced-scale twin).
 std::vector<NetSetup> make_table5_setups(bool full_scale);
 
+// ---- failure specs -------------------------------------------------------
+
+/// First-class failure injection: which links/routers of a topology are
+/// dead before the experiment starts. The damage pass is shared by every
+/// consumer (suites, benches, pf_sim), so oracles are always rebuilt on
+/// the damaged graph and the same spec is bit-reproducible everywhere.
+struct FailureSpec {
+  /// Fraction of links killed at random: the full edge list (u < v,
+  /// sorted — graph::Graph::edge_list order) is shuffled with
+  /// util::Rng(seed) and the first floor(E * link_rate) edges die. The
+  /// same seed therefore yields nested kill sets across rates, exactly
+  /// like the paper's Fig. 14 removal orders.
+  double link_rate = 0.0;
+  std::uint64_t seed = 0;                ///< RNG seed for random kills
+  std::vector<graph::Edge> links;        ///< explicit links to kill
+  std::vector<int> routers;              ///< routers to kill (all links + endpoints)
+
+  bool empty() const {
+    return link_rate <= 0.0 && links.empty() && routers.empty();
+  }
+
+  /// Canonical spec string: "" when empty, otherwise e.g.
+  /// "kill=0.05@57005", "links=0-1;2-5", "routers=3;7" joined by ','.
+  /// Doubles as the damaged-graph cache-key fragment and label suffix.
+  std::string canonical() const;
+};
+
+/// The shared damage pass: removes the spec's random links, explicit
+/// links, and every link incident to a killed router. `dead_router`
+/// (optional, resized to num_vertices) marks killed routers so endpoint
+/// placement can skip them. Throws std::invalid_argument (naming the
+/// spec) on out-of-range routers or link endpoints.
+graph::Graph apply_failures(const graph::Graph& g, const FailureSpec& spec,
+                            std::vector<char>* dead_router = nullptr);
+
 // ---- scenario registry ---------------------------------------------------
 
 /// A fully specified sweep-ready experiment, by string keys.
@@ -106,6 +141,7 @@ struct ScenarioSpec {
   std::string topology;
   std::string routing = "MIN";
   std::string pattern = "uniform";
+  FailureSpec failure;             ///< applied before routing state is built
   sim::SimConfig config;
   RoutingOptions routing_options;
   std::uint64_t pattern_seed = 0;  ///< 0 -> config.seed
@@ -122,11 +158,23 @@ struct Scenario {
 };
 
 /// String-keyed topology/oracle cache + scenario resolution. Thread-safe.
+/// Damaged graphs are cached under the combined key
+/// "<topology>|<failure.canonical()>", so an intact entry is never
+/// mistaken for a damaged one (and vice versa), and two different
+/// failure specs over the same base topology get distinct oracles.
 class ScenarioRegistry {
  public:
   /// Parses a topology spec (see ScenarioSpec::topology), constructing and
   /// caching the setup — repeated calls share one graph and one oracle.
   std::shared_ptr<const NetSetup> topology(const std::string& spec);
+
+  /// The damaged variant: the base setup is built (and cached) intact,
+  /// then the failure spec's damage pass runs, the oracle is recomputed
+  /// on the damaged graph, and killed routers lose their endpoints.
+  /// Structural handles (polarfly/fattree) are dropped — topology-aware
+  /// routing (ALG/NCA) has no validity guarantee on a damaged graph.
+  std::shared_ptr<const NetSetup> topology(const std::string& spec,
+                                           const FailureSpec& failure);
 
   /// The oracle for `key`, computed from `g` on first use. Shared across
   /// all sweep points and routings over the same topology.
@@ -137,6 +185,11 @@ class ScenarioRegistry {
 
   /// Keys currently cached (diagnostics).
   std::vector<std::string> cached_topologies() const;
+
+  /// Drops every cached setup whose key carries a failure-spec fragment
+  /// (damaged graphs are one-suite artifacts; intact topologies and their
+  /// oracles stay). Returns the number of entries evicted.
+  std::size_t evict_damaged();
 
   /// The process-wide registry the factories above share oracles through.
   static ScenarioRegistry& shared();

@@ -1,0 +1,364 @@
+#include "exp/suite.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/harness.hpp"
+#include "util/json.hpp"
+
+namespace pf::exp {
+namespace {
+
+using util::JsonValue;
+
+constexpr const char* kSuiteSchema = "polarfly-suite/1";
+
+[[noreturn]] void bad(const std::string& context, const std::string& what) {
+  throw std::invalid_argument("suite " + context + ": " + what);
+}
+
+/// One entry's (or the defaults block's) merged state: every axis and
+/// knob a scenarios[] entry can set, pre-expansion.
+struct EntryState {
+  std::vector<std::string> topologies;
+  std::vector<std::string> routings = {"MIN"};
+  std::vector<std::string> patterns = {"uniform"};
+  std::vector<FailureSpec> failures = {FailureSpec{}};
+  std::vector<double> loads;
+  bool saturation = false;
+  double sat_lo = 0.05;
+  double sat_hi = 1.0;
+  double sat_tol = 0.02;
+  int sat_iters = 10;
+  sim::SimConfig config;
+  std::uint64_t pattern_seed = 0;
+  double ugal_threshold = -1.0;
+};
+
+std::vector<std::string> parse_string_axis(const JsonValue& value,
+                                           const std::string& context) {
+  std::vector<std::string> out;
+  if (value.is_string()) {
+    out.push_back(value.as_string());
+  } else if (value.is_array()) {
+    for (const auto& item : value.items()) {
+      if (!item.is_string()) bad(context, "expected a string or string array");
+      out.push_back(item.as_string());
+    }
+  } else {
+    bad(context, "expected a string or string array");
+  }
+  if (out.empty()) bad(context, "axis must not be empty");
+  return out;
+}
+
+FailureSpec parse_failure(const JsonValue& value, const std::string& context) {
+  if (!value.is_object()) bad(context, "expected a failure object");
+  FailureSpec spec;
+  for (const auto& [key, v] : value.members()) {
+    if (key == "link_rate") {
+      spec.link_rate = v.as_double();
+      if (spec.link_rate < 0.0 || spec.link_rate > 1.0) {
+        bad(context + ".link_rate", "must be in [0, 1]");
+      }
+    } else if (key == "seed") {
+      spec.seed = v.as_uint();
+    } else if (key == "links") {
+      for (const auto& link : v.items()) {
+        if (!link.is_array() || link.size() != 2) {
+          bad(context + ".links", "each link must be a [u, v] pair");
+        }
+        spec.links.emplace_back(
+            static_cast<std::int32_t>(link.items()[0].as_int()),
+            static_cast<std::int32_t>(link.items()[1].as_int()));
+      }
+    } else if (key == "routers") {
+      for (const auto& router : v.items()) {
+        spec.routers.push_back(static_cast<int>(router.as_int()));
+      }
+    } else {
+      bad(context, "unknown failure key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+std::vector<double> parse_loads(const JsonValue& value,
+                                const std::string& context) {
+  if (value.is_array()) {
+    std::vector<double> loads;
+    for (const auto& item : value.items()) loads.push_back(item.as_double());
+    if (loads.empty()) bad(context, "loads array must not be empty");
+    return loads;
+  }
+  if (value.is_object()) {
+    for (const auto& [key, v] : value.members()) {
+      (void)v;
+      if (key != "lo" && key != "hi" && key != "count") {
+        bad(context, "unknown loads key '" + key + "' (lo/hi/count)");
+      }
+    }
+    const int count = static_cast<int>(value.at("count").as_int());
+    if (count < 1) bad(context + ".count", "must be >= 1");
+    return sim::load_steps(value.at("lo").as_double(),
+                           value.at("hi").as_double(), count);
+  }
+  bad(context, "expected a number array or {lo, hi, count}");
+}
+
+void parse_config(const JsonValue& value, const std::string& context,
+                  sim::SimConfig& config) {
+  if (!value.is_object()) bad(context, "expected a config object");
+  for (const auto& [key, v] : value.members()) {
+    if (key == "packet_size") config.packet_size = static_cast<int>(v.as_int());
+    else if (key == "vcs") config.vcs = static_cast<int>(v.as_int());
+    else if (key == "buf_per_port") config.buf_per_port = static_cast<int>(v.as_int());
+    else if (key == "warmup") config.warmup_cycles = static_cast<int>(v.as_int());
+    else if (key == "measure") config.measure_cycles = static_cast<int>(v.as_int());
+    else if (key == "drain") config.drain_cycles = static_cast<int>(v.as_int());
+    else if (key == "seed") config.seed = v.as_uint();
+    else bad(context, "unknown config key '" + key + "'");
+  }
+}
+
+void apply_entry_key(const std::string& key, const JsonValue& value,
+                     const std::string& context, const std::string& ctx,
+                     EntryState& state, std::string* name);
+
+/// Applies one scenarios[] entry onto `state`. The defaults block parses
+/// through the same function (name == nullptr): it may set every axis and
+/// knob, including a default topology, but not a name.
+void apply_entry(const JsonValue& entry, const std::string& context,
+                 EntryState& state, std::string* name) {
+  if (!entry.is_object()) bad(context, "expected an object");
+  for (const auto& [key, value] : entry.members()) {
+    const std::string ctx = context + "." + key;
+    // Accessor type mismatches (JsonError) must keep the scenarios[i].key
+    // context — a suite of hundreds of cases is undebuggable otherwise.
+    try {
+      apply_entry_key(key, value, context, ctx, state, name);
+    } catch (const util::JsonError& e) {
+      bad(ctx, e.what());
+    }
+  }
+}
+
+void apply_entry_key(const std::string& key, const JsonValue& value,
+                     const std::string& context, const std::string& ctx,
+                     EntryState& state, std::string* name) {
+  {
+    if (key == "name") {
+      if (name == nullptr) bad(ctx, "defaults cannot set a name");
+      *name = value.as_string();
+    } else if (key == "topology") {
+      state.topologies = parse_string_axis(value, ctx);
+    } else if (key == "routing") {
+      state.routings = parse_string_axis(value, ctx);
+    } else if (key == "pattern") {
+      state.patterns = parse_string_axis(value, ctx);
+    } else if (key == "failures") {
+      if (!value.is_array() || value.size() == 0) {
+        bad(ctx, "expected a non-empty array of failure objects");
+      }
+      state.failures.clear();
+      for (std::size_t i = 0; i < value.items().size(); ++i) {
+        state.failures.push_back(parse_failure(
+            value.items()[i], ctx + "[" + std::to_string(i) + "]"));
+      }
+    } else if (key == "loads") {
+      state.loads = parse_loads(value, ctx);
+    } else if (key == "saturation_search") {
+      if (value.is_bool()) {
+        state.saturation = value.as_bool();
+      } else if (value.is_object()) {
+        state.saturation = true;
+        for (const auto& [skey, sval] : value.members()) {
+          if (skey == "lo") state.sat_lo = sval.as_double();
+          else if (skey == "hi") state.sat_hi = sval.as_double();
+          else if (skey == "tol") state.sat_tol = sval.as_double();
+          else if (skey == "iters") state.sat_iters = static_cast<int>(sval.as_int());
+          else bad(ctx, "unknown saturation key '" + skey + "'");
+        }
+      } else {
+        bad(ctx, "expected a bool or {lo, hi, tol, iters}");
+      }
+    } else if (key == "config") {
+      parse_config(value, ctx, state.config);
+    } else if (key == "pattern_seed") {
+      state.pattern_seed = value.as_uint();
+    } else if (key == "ugal_threshold") {
+      state.ugal_threshold = value.as_double();
+    } else {
+      bad(context, "unknown key '" + key + "'");
+    }
+  }
+}
+
+void expand_entry(const EntryState& state, const std::string& name,
+                  const std::string& context, Suite& suite) {
+  if (state.topologies.empty()) {
+    bad(context, "no topology (set it on the entry or in defaults)");
+  }
+  if (!state.saturation && state.loads.empty()) {
+    bad(context, "needs 'loads' or 'saturation_search'");
+  }
+  // Cross product, topology-major, failures innermost — document order.
+  for (const auto& topology : state.topologies) {
+    for (const auto& routing : state.routings) {
+      for (const auto& pattern : state.patterns) {
+        for (const auto& failure : state.failures) {
+          SuiteCase cs;
+          cs.spec.topology = topology;
+          cs.spec.routing = routing;
+          cs.spec.pattern = pattern;
+          cs.spec.failure = failure;
+          cs.spec.config = state.config;
+          cs.spec.routing_options.ugal_threshold = state.ugal_threshold;
+          cs.spec.pattern_seed = state.pattern_seed;
+          if (!name.empty()) {
+            // Discriminate only the axes that actually vary, so a
+            // single-combination entry keeps its bare name.
+            std::string suffix;
+            const auto add = [&suffix](const std::string& part) {
+              suffix += suffix.empty() ? " [" : " ";
+              suffix += part;
+            };
+            if (state.topologies.size() > 1) add(topology);
+            if (state.routings.size() > 1) add(routing);
+            if (state.patterns.size() > 1) add(pattern);
+            if (state.failures.size() > 1) {
+              add(failure.empty() ? "intact" : failure.canonical());
+            }
+            if (!suffix.empty()) suffix += "]";
+            cs.spec.name = name + suffix;
+          }
+          cs.loads = state.loads;
+          cs.saturation = state.saturation;
+          cs.sat_lo = state.sat_lo;
+          cs.sat_hi = state.sat_hi;
+          cs.sat_tol = state.sat_tol;
+          cs.sat_iters = state.sat_iters;
+          suite.cases.push_back(std::move(cs));
+        }
+      }
+    }
+  }
+}
+
+Suite parse_suite_value(const JsonValue& root) {
+  if (!root.is_object()) bad("document", "top level must be an object");
+  for (const auto& [key, value] : root.members()) {
+    (void)value;
+    if (key != "schema" && key != "name" && key != "defaults" &&
+        key != "scenarios") {
+      bad("document", "unknown key '" + key + "'");
+    }
+  }
+  const std::string schema = root.at("schema").as_string();
+  if (schema != kSuiteSchema) {
+    bad("document", "schema '" + schema + "' is not " + kSuiteSchema);
+  }
+
+  Suite suite;
+  if (const JsonValue* name = root.find("name")) {
+    suite.name = name->as_string();
+  }
+
+  EntryState defaults;
+  if (const JsonValue* block = root.find("defaults")) {
+    apply_entry(*block, "defaults", defaults, nullptr);
+  }
+
+  const JsonValue& scenarios = root.at("scenarios");
+  if (!scenarios.is_array() || scenarios.size() == 0) {
+    bad("document", "'scenarios' must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < scenarios.items().size(); ++i) {
+    const std::string context = "scenarios[" + std::to_string(i) + "]";
+    EntryState state = defaults;
+    std::string name;
+    apply_entry(scenarios.items()[i], context, state, &name);
+    expand_entry(state, name, context, suite);
+  }
+  return suite;
+}
+
+}  // namespace
+
+Suite parse_suite(const std::string& json_text) {
+  // Malformed text throws JsonError from json_parse; anything after that
+  // is a schema violation and reports as std::invalid_argument (missing
+  // keys and type mismatches from JsonValue accessors included).
+  const JsonValue root = util::json_parse(json_text);
+  try {
+    return parse_suite_value(root);
+  } catch (const util::JsonError& e) {
+    throw std::invalid_argument(std::string("suite schema: ") + e.what());
+  }
+}
+
+Suite load_suite(const std::string& path) {
+  std::string text;
+  if (!util::read_text_file(path, text)) {
+    throw std::invalid_argument("cannot read suite file " + path);
+  }
+  try {
+    return parse_suite(text);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+bool serves_all_terminals(const NetSetup& setup) {
+  if (setup.oracle == nullptr) return false;
+  int first = -1;
+  for (int v = 0; v < setup.graph.num_vertices(); ++v) {
+    if (setup.endpoints[static_cast<std::size_t>(v)] <= 0) continue;
+    if (first < 0) {
+      first = v;
+    } else if (setup.oracle->distance(first, v) < 0) {
+      return false;
+    }
+  }
+  return first >= 0;
+}
+
+std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
+                             const Callback& on_record) {
+  std::size_t skipped = 0;
+  try {
+    for (std::size_t i = 0; i < suite.cases.size(); ++i) {
+      const SuiteCase& cs = suite.cases[i];
+      const Scenario scenario = registry_.make(cs.spec);
+      if (!serves_all_terminals(*scenario.setup)) {
+        std::fprintf(stderr,
+                     "suite %s: skipping '%s' — damaged graph no longer "
+                     "connects all terminals\n",
+                     suite.name.c_str(), scenario.label.c_str());
+        ++skipped;
+        continue;
+      }
+      RunRecord record =
+          cs.saturation ? saturation_search(scenario, cs.sat_lo, cs.sat_hi,
+                                            cs.sat_tol, cs.sat_iters)
+                        : run_sweep(scenario, cs.loads);
+      if (pattern_uses_seed(cs.spec.pattern)) {
+        record.pattern_seed = cs.spec.pattern_seed != 0
+                                  ? cs.spec.pattern_seed
+                                  : cs.spec.config.seed;
+      }
+      log.add(std::move(record));
+      if (on_record) on_record(log.records().back(), i, suite.cases.size());
+    }
+  } catch (...) {
+    registry_.evict_damaged();
+    throw;
+  }
+  // Damaged graphs are one-suite artifacts: cases within this run shared
+  // them through the cache, but a long-lived process must not accumulate
+  // one O(N^2) oracle per failure case. Intact topologies stay cached.
+  registry_.evict_damaged();
+  return skipped;
+}
+
+}  // namespace pf::exp

@@ -1,0 +1,95 @@
+// Declarative scenario suites (schema "polarfly-suite/1"): one JSON
+// document describes a whole {topology x routing x pattern x failure}
+// experiment matrix, and one runner executes it through the sweep engine.
+// Every paper figure/table that sweeps is a suite entry; the committed
+// suites/*.json files make the full evaluation reproducible from
+// `pf_sim suite <file> --json <out>`.
+//
+// Document shape (see README "Scenario suites" for the full schema):
+//
+//   {
+//     "schema": "polarfly-suite/1",
+//     "name": "smoke",
+//     "defaults": { "routing": "MIN", "loads": {"lo":0.2,"hi":0.8,"count":4},
+//                   "config": {"warmup":200,"measure":400,"drain":800} },
+//     "scenarios": [
+//       { "name": "fig08a",
+//         "topology": ["pf:q=13,p=7", "sf:q=11,p=8"],
+//         "routing": ["MIN", "UGALPF"],
+//         "pattern": "uniform",
+//         "failures": [ {}, {"link_rate": 0.05, "seed": 57005} ] }
+//     ]
+//   }
+//
+// topology / routing / pattern accept a string or an array of strings;
+// failures is an array of failure objects ({} = intact). Each entry
+// expands to the cross product of its four axes, in document order
+// (topology-major, failures innermost). Unknown keys anywhere are hard
+// errors, so schema drift fails loudly instead of silently ignoring a
+// misspelled axis.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hpp"
+#include "exp/results.hpp"
+#include "exp/scenario.hpp"
+
+namespace pf::exp {
+
+/// One expanded, runnable experiment: a resolved ScenarioSpec plus the
+/// load axis (fixed grid or adaptive saturation search).
+struct SuiteCase {
+  ScenarioSpec spec;
+  std::vector<double> loads;  ///< fixed-grid loads (ignored if saturation)
+  bool saturation = false;    ///< bisect the plateau instead of a grid
+  double sat_lo = 0.05;
+  double sat_hi = 1.0;
+  double sat_tol = 0.02;
+  int sat_iters = 10;
+};
+
+struct Suite {
+  std::string name;
+  std::vector<SuiteCase> cases;  ///< fully cross-product-expanded
+};
+
+/// Parses and expands a polarfly-suite/1 document. Throws
+/// util::JsonError on malformed JSON and std::invalid_argument on schema
+/// violations; both name the offending scenarios[i] entry and key.
+Suite parse_suite(const std::string& json_text);
+
+/// load + parse; errors are prefixed with the path.
+Suite load_suite(const std::string& path);
+
+/// Executes a suite through run_sweep / saturation_search, streaming
+/// records into `log`. `on_record` (optional) fires after each case with
+/// (record, case index, total cases) — the hook print/emit frontends use.
+/// Cases whose damaged graph no longer connects all terminals are
+/// skipped with a stderr note (their oracle has no route to offer);
+/// returns the number of cases skipped. Damaged-graph cache entries are
+/// shared across the run's cases and evicted from the registry when the
+/// run finishes.
+class SuiteRunner {
+ public:
+  using Callback =
+      std::function<void(const RunRecord&, std::size_t, std::size_t)>;
+
+  explicit SuiteRunner(ScenarioRegistry& registry = ScenarioRegistry::shared())
+      : registry_(registry) {}
+
+  std::size_t run(const Suite& suite, ResultLog& log,
+                  const Callback& on_record = {});
+
+ private:
+  ScenarioRegistry& registry_;
+};
+
+/// True when every endpoint-hosting router can reach every other one —
+/// the runnability condition for (possibly damaged) setups.
+bool serves_all_terminals(const NetSetup& setup);
+
+}  // namespace pf::exp

@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <cmath>
+#include <functional>
 #include <stdexcept>
 
 #include "sim/routing.hpp"
@@ -91,6 +93,7 @@ Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
   link_busy_until_.assign(num_channels, 0);
   injection_pool_.assign(static_cast<std::size_t>(n), {});
   router_backlog_.assign(static_cast<std::size_t>(n), 0);
+  reset_state();  // builds the injection schedule; everything above holds
 }
 
 void Network::reset(double load) {
@@ -101,6 +104,32 @@ void Network::reset(double load) {
 void Network::reset_state() {
   std::fill(terminal_eject_free_.begin(), terminal_eject_free_.end(), 0);
   std::fill(terminal_inject_free_.begin(), terminal_inject_free_.end(), 0);
+  // Rebuild every terminal's injection stream and schedule. The first
+  // wakeup is sampled as if the previous injection happened at cycle -1,
+  // so P(first injection at cycle 0) is exactly the per-cycle rate.
+  //
+  // Wakeup structure: the heap costs ~2 log2(T) sifts per arrival, the
+  // scan one comparison per terminal per cycle; with arrival probability
+  // p per terminal the scan is cheaper once p * 2 log2(T) > ~1. Either
+  // way the processed schedule is identical.
+  const double p =
+      load_ / static_cast<double>(std::max(1, config_.packet_size));
+  const double log2_t = std::log2(
+      static_cast<double>(std::max<std::size_t>(2, terminals_.size())));
+  scan_mode_ = config_.scan_injection || p * 2.0 * log2_t >= 1.0;
+  terminal_rng_.clear();
+  terminal_rng_.reserve(terminals_.size());
+  next_inject_.assign(terminals_.size(), kNeverInject);
+  inject_heap_.clear();
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    terminal_rng_.emplace_back(config_.seed +
+                               0x9e3779b97f4a7c15ULL *
+                                   (static_cast<std::uint64_t>(t) + 1));
+    const std::int64_t gap = injection_gap(terminal_rng_[t]);
+    if (gap < kNeverInject) {
+      schedule_terminal(static_cast<int>(t), -1 + gap);
+    }
+  }
   std::fill(channel_occupancy_.begin(), channel_occupancy_.end(), 0);
   std::fill(waiting_for_output_.begin(), waiting_for_output_.end(), 0);
   std::fill(ring_head_.begin(), ring_head_.end(), 0);
@@ -147,40 +176,85 @@ int Network::channel_id(int u, int v) const {
                           (it - row.begin()));
 }
 
-void Network::inject_new_packets() {
-  const double packet_prob =
+std::int64_t Network::injection_gap(util::Rng& rng) const {
+  const double p =
       load_ / static_cast<double>(std::max(1, config_.packet_size));
+  if (p <= 0.0) return kNeverInject;
+  if (p >= 1.0) return 1;
+  // Closed-form geometric inter-arrival: one uniform draw per packet
+  // instead of one Bernoulli draw per terminal per cycle. failures =
+  // floor(log(1-u)/log(1-p)) is the standard inverse transform.
+  const double u = rng.uniform();
+  const double failures = std::floor(std::log1p(-u) / std::log1p(-p));
+  if (!(failures < static_cast<double>(kNeverInject))) return kNeverInject;
+  return 1 + static_cast<std::int64_t>(std::max(0.0, failures));
+}
+
+void Network::schedule_terminal(int t, std::int64_t at) {
+  next_inject_[static_cast<std::size_t>(t)] = at;
+  if (scan_mode_) return;  // the scan walks next_inject_
+  inject_heap_.emplace_back(at, t);
+  std::push_heap(inject_heap_.begin(), inject_heap_.end(),
+                 std::greater<>());
+}
+
+void Network::process_due_terminal(int t) {
+  const auto ti = static_cast<std::size_t>(t);
   // Finite source queues: a terminal whose injection backlog is this many
-  // packets deep stops generating until it drains. Below saturation the
-  // backlog never builds, so measurements are unaffected; past saturation
-  // this keeps the open loop from spiralling into pathological depth.
+  // packets deep defers the arrival until the queue drains back to the
+  // cap. Below saturation the backlog never builds, so measurements are
+  // unaffected; past saturation this keeps the open loop from spiralling
+  // into pathological depth.
   const std::int64_t max_backlog =
       static_cast<std::int64_t>(16) * config_.packet_size;
-  for (std::size_t t = 0; t < terminals_.size(); ++t) {
-    if (terminal_inject_free_[t] > cycle_ + max_backlog) continue;
-    if (!rng_.chance(packet_prob)) continue;
-    int id;
-    if (free_packets_.empty()) {
-      id = static_cast<int>(packets_.size());
-      packets_.emplace_back();
-    } else {
-      id = free_packets_.back();
-      free_packets_.pop_back();
-      packets_[static_cast<std::size_t>(id)] = Packet{};
+  if (terminal_inject_free_[ti] > cycle_ + max_backlog) {
+    schedule_terminal(t, terminal_inject_free_[ti] - max_backlog);
+    return;
+  }
+  int id;
+  if (free_packets_.empty()) {
+    id = static_cast<int>(packets_.size());
+    packets_.emplace_back();
+  } else {
+    id = free_packets_.back();
+    free_packets_.pop_back();
+    packets_[static_cast<std::size_t>(id)] = Packet{};
+  }
+  util::Rng& rng = terminal_rng_[ti];
+  Packet& packet = packets_[static_cast<std::size_t>(id)];
+  packet.src_router = terminals_[ti];
+  packet.dst_terminal = pattern_.destination(t, rng);
+  packet.subvc =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(subvcs_)));
+  packet.birth = cycle_;
+  packet.ready = std::max(cycle_, terminal_inject_free_[ti]);
+  terminal_inject_free_[ti] = packet.ready + config_.packet_size;
+  packet.measured = measuring_;
+  if (packet.measured) ++measured_generated_;
+  injection_pool_[static_cast<std::size_t>(packet.src_router)].push_back(id);
+  ++router_backlog_[static_cast<std::size_t>(packet.src_router)];
+
+  const std::int64_t gap = injection_gap(rng);
+  if (gap < kNeverInject) schedule_terminal(t, cycle_ + gap);
+}
+
+void Network::inject_new_packets() {
+  if (scan_mode_) {
+    // O(terminals) walk of the same schedule, processed in ascending
+    // terminal order — the order the heap pops ties in.
+    for (std::size_t t = 0; t < terminals_.size(); ++t) {
+      if (next_inject_[t] == cycle_) {
+        process_due_terminal(static_cast<int>(t));
+      }
     }
-    Packet& packet = packets_[static_cast<std::size_t>(id)];
-    packet.src_router = terminals_[t];
-    packet.dst_terminal = pattern_.destination(static_cast<int>(t), rng_);
-    packet.subvc = static_cast<int>(
-        rng_.below(static_cast<std::uint64_t>(subvcs_)));
-    packet.birth = cycle_;
-    packet.ready = std::max(cycle_, terminal_inject_free_[t]);
-    terminal_inject_free_[t] = packet.ready + config_.packet_size;
-    packet.measured = measuring_;
-    if (packet.measured) ++measured_generated_;
-    injection_pool_[static_cast<std::size_t>(packet.src_router)].push_back(
-        id);
-    ++router_backlog_[static_cast<std::size_t>(packet.src_router)];
+    return;
+  }
+  while (!inject_heap_.empty() && inject_heap_.front().first <= cycle_) {
+    const int t = inject_heap_.front().second;
+    std::pop_heap(inject_heap_.begin(), inject_heap_.end(),
+                  std::greater<>());
+    inject_heap_.pop_back();
+    process_due_terminal(t);
   }
 }
 

@@ -23,6 +23,16 @@
 // to its just-constructed state so sweeps reuse one instance instead of
 // rebuilding the channel indexing per point; identical seeds produce
 // bit-identical statistics either way.
+//
+// Injection is event-driven: each terminal owns its RNG stream and a
+// next-injection time sampled in closed form from the geometric
+// inter-arrival distribution of the Bernoulli(load/packet_size) process,
+// and a min-heap of (time, terminal) wakes exactly the terminals due
+// this cycle — O(arrivals log T) per cycle instead of the former
+// O(terminals) Bernoulli scan. The per-terminal streams make the
+// process independent of wakeup order; SimConfig::scan_injection selects
+// a reference O(terminals) scan of the same schedule that is bit-
+// identical to the heap (tested) and exists only for that test.
 #pragma once
 
 #include <algorithm>
@@ -30,6 +40,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -48,6 +59,11 @@ struct SimConfig {
   int measure_cycles = 4000;
   int drain_cycles = 8000;
   std::uint64_t seed = 42;
+  /// Force the linear-walk injection path regardless of load (reset()
+  /// otherwise picks walk vs heap by arrival density). Bit-identical
+  /// either way; the equivalence test sets it to pin the walk against a
+  /// heap-chosen twin. Not part of any serialized schema.
+  bool scan_injection = false;
 };
 
 /// A source route: the router sequence hops[0..len), hops[0] = source.
@@ -162,6 +178,14 @@ class Network {
   }
   void reset_state();
   void inject_new_packets();
+  /// Samples the gap (>= 1 cycles) to a terminal's next injection from
+  /// its own stream; kNeverInject when the offered load is zero (or the
+  /// gap would overflow the cycle counter).
+  std::int64_t injection_gap(util::Rng& rng) const;
+  /// Handles terminal t's due injection: inject (or defer while the
+  /// source queue is over its backlog cap) and schedule the next wakeup.
+  void process_due_terminal(int t);
+  void schedule_terminal(int t, std::int64_t at);
   void allocate_router(int v);
   bool try_dispatch(int packet_id, int at_router);  ///< grant check + move
   void eject(int packet_id);
@@ -173,10 +197,25 @@ class Network {
   SimConfig config_;
   double load_ = 0.0;
 
+  static constexpr std::int64_t kNeverInject =
+      std::int64_t{1} << 62;  ///< sentinel: terminal generates no traffic
+
   std::vector<int> endpoints_;  ///< endpoints per router
   std::vector<int> terminals_;  ///< terminal -> router
   std::vector<std::int64_t> terminal_eject_free_;
   std::vector<std::int64_t> terminal_inject_free_;
+
+  // Event-driven injection: per-terminal RNG streams (destination and
+  // sub-VC draws included, so wakeup order cannot perturb the process),
+  // the next injection time per terminal, and the (time, terminal)
+  // min-heap that wakes due terminals. Both wakeup structures walk the
+  // same schedule and are bit-identical; reset() picks the heap when
+  // arrivals are sparse (low load) and the linear walk when dense —
+  // scan_mode_ is pure mechanics, never statistics.
+  std::vector<util::Rng> terminal_rng_;
+  std::vector<std::int64_t> next_inject_;
+  std::vector<std::pair<std::int64_t, int>> inject_heap_;
+  bool scan_mode_ = false;
 
   // CSR-style directed channel indexing aligned with graph adjacency.
   std::vector<std::int64_t> channel_offset_;  ///< router -> first channel

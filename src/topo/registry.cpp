@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/expansion.hpp"
+#include "core/layout.hpp"
 #include "topo/brown.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/hyperx.hpp"
@@ -62,6 +64,22 @@ TopologyInstance make_topology(const std::string& family,
     inst.graph = pf->graph();
     inst.radix = pf->radix();
     inst.polarfly = std::move(pf);
+  } else if (family == "polarfly-exp" || family == "pfx") {
+    // Incrementally expanded ER_q (SS VI / Fig. 11): `n` replicated
+    // clusters, quadric=1 for quadric-cluster replication (diameter
+    // stays 2), quadric=0 for fan-cluster replication (diameter 3).
+    const auto q = static_cast<std::uint32_t>(need(params, "q", family));
+    const int n = static_cast<int>(need(params, "n", family));
+    const bool quadric = get_or(params, "quadric", 0) != 0;
+    const core::PolarFly pf(q);
+    const core::Layout layout = core::make_layout(pf);
+    const auto expanded = quadric ? core::expand_quadric(pf, layout, n)
+                                  : core::expand_nonquadric(pf, layout, n);
+    inst.family = "polarfly-exp";
+    inst.label = "PolarFly ER_" + std::to_string(q) + "+" +
+                 std::to_string(n) + (quadric ? "q" : "f");
+    inst.graph = expanded.graph;
+    inst.radix = inst.graph.max_degree();
   } else if (family == "slimfly" || family == "sf") {
     const auto q = static_cast<std::uint32_t>(need(params, "q", family));
     const SlimFly sf(q);
@@ -145,6 +163,8 @@ TopologyInstance make_topology(const std::string& family,
 std::string topology_usage() {
   return
       "  polarfly --q Q            ER_q, N=q^2+q+1, radix q+1, diameter 2\n"
+      "  polarfly-exp --q Q --n N [--quadric 1]  ER_q with N replicated\n"
+      "                            clusters (SS VI incremental expansion)\n"
       "  slimfly --q Q             MMS graph, N=2q^2, radix (3q-delta)/2\n"
       "  dragonfly --a A --h H [--p P]   a(ah+1) routers, 1 global link/pair\n"
       "  fattree --arity K [--levels L]  k-ary n-tree, L*K^(L-1) switches\n"

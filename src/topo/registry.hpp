@@ -40,10 +40,10 @@ struct TopologyInstance {
 /// Constructs a topology by family name. Throws std::invalid_argument on
 /// unknown families, missing parameters, or infeasible sizes.
 ///
-/// Families (parameters): polarfly|pf (q), slimfly|sf (q), dragonfly
-/// (a, h, p), fattree (levels, arity), jellyfish (n, k [, seed]), hyperx
-/// (a [, b]), torus (k, d), hypercube (d), brown (q), petersen,
-/// hoffman-singleton.
+/// Families (parameters): polarfly|pf (q), polarfly-exp|pfx
+/// (q, n [, quadric]), slimfly|sf (q), dragonfly (a, h, p), fattree
+/// (levels, arity), jellyfish (n, k [, seed]), hyperx (a [, b]), torus
+/// (k, d), hypercube (d), brown (q), petersen, hoffman-singleton.
 TopologyInstance make_topology(const std::string& family,
                                const TopologyParams& params);
 

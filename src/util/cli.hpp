@@ -1,9 +1,11 @@
 // Minimal command-line parsing for the pf_* apps: one optional leading
-// subcommand followed by --key value / --key flags. Typed accessors throw
-// CliError with a user-facing message; queried keys are tracked so the
-// apps can warn about options that were ignored.
+// subcommand, positional operands (bare tokens, e.g. the suite file of
+// `pf_sim suite <file>`), and --key value / --key flags. Typed accessors
+// throw CliError with a user-facing message; queried keys are tracked so
+// the apps can warn about options that were ignored.
 #pragma once
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <map>
@@ -31,8 +33,8 @@ class CliArgs {
     for (; i < argc; ++i) {
       std::string token = argv[i];
       if (token.rfind("--", 0) != 0 || token.size() <= 2) {
-        throw CliError("unexpected argument '" + token +
-                       "' (options are --key [value])");
+        args.positionals_.push_back(std::move(token));
+        continue;
       }
       const std::string key = token.substr(2);
       if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
@@ -45,6 +47,29 @@ class CliArgs {
   }
 
   const std::string& command() const { return command_; }
+
+  /// Bare operands after the subcommand, in order (option values are
+  /// consumed by their --key and never land here).
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// The single required operand of a subcommand, by position.
+  std::string positional(std::size_t index, const std::string& what) const {
+    if (index >= positionals_.size()) {
+      throw CliError("missing " + what + " operand");
+    }
+    used_positionals_ = std::max(used_positionals_, index + 1);
+    return positionals_[index];
+  }
+
+  /// Operands beyond what the app consumed via positional() — stray
+  /// arguments, usually (a forgotten --key in front of a value). Apps
+  /// that take no operands get all of them back here.
+  std::vector<std::string> unused_positionals() const {
+    return {positionals_.begin() +
+                static_cast<std::ptrdiff_t>(
+                    std::min(used_positionals_, positionals_.size())),
+            positionals_.end()};
+  }
 
   bool has(const std::string& key) const {
     const auto it = values_.find(key);
@@ -128,8 +153,10 @@ class CliArgs {
   }
 
   std::string command_;
+  std::vector<std::string> positionals_;
   std::map<std::string, std::string> values_;
   mutable std::set<std::string> used_;
+  mutable std::size_t used_positionals_ = 0;
 };
 
 /// Parses "lo:hi:count" into `count` evenly spaced values, endpoints

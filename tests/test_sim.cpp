@@ -304,6 +304,52 @@ TEST(Simulator, ResetIsBitIdenticalToFreshConstruction) {
   EXPECT_GT(reference.delivered_packets, 0);
 }
 
+TEST(Simulator, InjectionHeapMatchesReferenceScanBitExactly) {
+  // The event-driven injection wakeup heap must be indistinguishable from
+  // the O(terminals) reference scan of the same per-terminal schedule —
+  // at the tracked configs: PF q=5 under MIN/uniform and UGAL-PF/randperm,
+  // across low and saturating loads.
+  PfFixture fx;
+  const sim::MinimalRouting min_routing(fx.pf.graph(), fx.oracle);
+  const sim::UgalRouting ugal(fx.pf.graph(), fx.oracle, true, 2.0 / 3.0);
+  const auto randperm = sim::PermutationTraffic::random(
+      sim::terminal_routers(fx.endpoints), 0xfeedULL);
+
+  sim::SimConfig config;
+  config.warmup_cycles = 300;
+  config.measure_cycles = 500;
+  config.drain_cycles = 1500;
+
+  struct Case {
+    const sim::RoutingAlgorithm* routing;
+    const sim::TrafficPattern* pattern;
+  };
+  const Case cases[] = {{&min_routing, &fx.pattern}, {&ugal, &randperm}};
+  for (const auto& c : cases) {
+    for (const double load : {0.05, 0.3, 0.9}) {
+      sim::SimConfig heap_config = config;
+      heap_config.scan_injection = false;
+      sim::Network heap_net(fx.pf.graph(), fx.endpoints, *c.routing,
+                            *c.pattern, heap_config, load);
+      heap_net.run_phases();
+
+      sim::SimConfig scan_config = config;
+      scan_config.scan_injection = true;
+      sim::Network scan_net(fx.pf.graph(), fx.endpoints, *c.routing,
+                            *c.pattern, scan_config, load);
+      scan_net.run_phases();
+
+      EXPECT_EQ(heap_net.accepted_load(), scan_net.accepted_load()) << load;
+      EXPECT_EQ(heap_net.avg_latency(), scan_net.avg_latency()) << load;
+      EXPECT_EQ(heap_net.p99_latency(), scan_net.p99_latency()) << load;
+      EXPECT_EQ(heap_net.delivered_packets(), scan_net.delivered_packets());
+      EXPECT_EQ(heap_net.measured_hops(), scan_net.measured_hops());
+      EXPECT_EQ(heap_net.peak_vc_packets(), scan_net.peak_vc_packets());
+      EXPECT_EQ(heap_net.converged(), scan_net.converged());
+    }
+  }
+}
+
 TEST(Simulator, RejectsInvalidConfigurationsAtConstruction) {
   PfFixture fx;
   // Route bound: Valiant on a 13-ary 2-torus detours up to 2 * 12 = 24

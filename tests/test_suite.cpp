@@ -1,0 +1,488 @@
+// Scenario suites and the JSON reader: parse round-trips, cross-product
+// expansion, failure-spec determinism and the shared damage pass,
+// suite-runner vs direct-engine bit-equality on suites/smoke.json, and
+// malformed-input behavior of util::json_parse.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/polarfly.hpp"
+#include "exp/engine.hpp"
+#include "exp/results.hpp"
+#include "exp/scenario.hpp"
+#include "exp/suite.hpp"
+#include "graph/algos.hpp"
+#include "sim/harness.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pf;
+
+// ---- util::json_parse ----------------------------------------------------
+
+TEST(JsonReader, ParsesTypedValues) {
+  const auto v = util::json_parse(
+      "{\"s\": \"a\\\"b\\\\c\\nd\\u0041\", \"i\": -7, \"u\": "
+      "18446744073709551615, \"d\": 0.5, \"e\": 2e3, \"t\": true, "
+      "\"z\": null, \"arr\": [1, 2, 3], \"o\": {\"nested\": []}}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\ndA");
+  EXPECT_EQ(v.at("i").as_int(), -7);
+  EXPECT_EQ(v.at("u").as_uint(), 18446744073709551615ULL);
+  EXPECT_EQ(v.at("d").as_double(), 0.5);
+  EXPECT_EQ(v.at("e").as_double(), 2000.0);
+  EXPECT_TRUE(v.at("t").as_bool());
+  EXPECT_TRUE(v.at("z").is_null());
+  ASSERT_EQ(v.at("arr").size(), 3u);
+  EXPECT_EQ(v.at("arr").items()[2].as_int(), 3);
+  EXPECT_TRUE(v.at("o").at("nested").is_array());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), util::JsonError);
+  // Type mismatches throw instead of coercing.
+  EXPECT_THROW(v.at("s").as_int(), util::JsonError);
+  EXPECT_THROW(v.at("d").as_int(), util::JsonError);       // non-integral
+  EXPECT_THROW(v.at("u").as_int(), util::JsonError);       // uint64-only
+  EXPECT_THROW(v.at("i").as_uint(), util::JsonError);      // negative
+  EXPECT_THROW(v.at("arr").as_string(), util::JsonError);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                        // empty
+      "{",                       // truncated object
+      "[1,",                     // truncated array
+      "[1,]",                    // trailing comma
+      "{\"a\":}",                // missing value
+      "{a: 1}",                  // unquoted key
+      "{\"a\" 1}",               // missing colon
+      "tru",                     // bad literal
+      "truex",                   // literal with trailing junk
+      "01",                      // leading zero
+      "1.",                      // missing fraction digits
+      "1e",                      // missing exponent digits
+      "-",                       // bare sign
+      "\"abc",                   // unterminated string
+      "\"\\x\"",                 // invalid escape
+      "\"\\u12g4\"",             // non-hex \u escape
+      "\"\\ud800\"",             // unpaired surrogate
+      "\"\tab\"",                // raw control char in string
+      "{\"a\": 1} 2",            // trailing content
+      "[1 2]",                   // missing comma
+      "nan",                     // not JSON
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(util::json_parse(text), util::JsonError) << text;
+  }
+  // Parse errors carry a position.
+  try {
+    util::json_parse("{\"a\":\n  bogus}");
+    FAIL() << "expected JsonError";
+  } catch (const util::JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  // Nesting depth is capped, not stack-crashing.
+  EXPECT_THROW(util::json_parse(std::string(200, '[')), util::JsonError);
+  // Surviving edge cases.
+  EXPECT_EQ(util::json_parse("  42  ").as_int(), 42);
+  EXPECT_EQ(util::json_parse("\"\\ud83d\\ude00\"").as_string().size(), 4u);
+}
+
+TEST(JsonReader, WriteRoundTripsDocuments) {
+  const std::string text =
+      "{\"a\":[1,2.5,\"x\"],\"b\":{\"c\":true,\"d\":null},"
+      "\"e\":18446744073709551615,\"f\":-3}";
+  const auto parsed = util::json_parse(text);
+  util::JsonWriter out(0);
+  parsed.write(out);
+  EXPECT_EQ(out.str(), text);
+  // And the re-emission parses back identically.
+  EXPECT_EQ(util::json_parse(out.str()).at("a").items()[1].as_double(), 2.5);
+}
+
+// ---- suite parsing and expansion -----------------------------------------
+
+const char* kSuiteDoc = R"({
+  "schema": "polarfly-suite/1",
+  "name": "parse-test",
+  "defaults": {
+    "routing": "MIN",
+    "loads": {"lo": 0.2, "hi": 0.8, "count": 4},
+    "config": {"warmup": 100, "measure": 200, "drain": 400, "seed": 7}
+  },
+  "scenarios": [
+    {"name": "grid",
+     "topology": ["pf:q=5,p=3", "pf:q=7,p=4"],
+     "routing": ["MIN", "UGALPF"],
+     "failures": [{}, {"link_rate": 0.1, "seed": 11}, {"routers": [3]}]},
+    {"name": "sat", "topology": "pf:q=5,p=3",
+     "saturation_search": {"lo": 0.1, "hi": 0.9, "tol": 0.05, "iters": 6},
+     "pattern": "randperm", "pattern_seed": 99,
+     "config": {"vcs": 8}, "ugal_threshold": 0.5}
+  ]
+})";
+
+TEST(SuiteParse, ExpandsTheCrossProduct) {
+  const exp::Suite suite = exp::parse_suite(kSuiteDoc);
+  EXPECT_EQ(suite.name, "parse-test");
+  // 2 topologies x 2 routings x 1 pattern x 3 failures + 1.
+  ASSERT_EQ(suite.cases.size(), 13u);
+
+  // Expansion is topology-major with failures innermost.
+  EXPECT_EQ(suite.cases[0].spec.topology, "pf:q=5,p=3");
+  EXPECT_EQ(suite.cases[0].spec.routing, "MIN");
+  EXPECT_TRUE(suite.cases[0].spec.failure.empty());
+  EXPECT_EQ(suite.cases[1].spec.failure.link_rate, 0.1);
+  EXPECT_EQ(suite.cases[1].spec.failure.seed, 11u);
+  EXPECT_EQ(suite.cases[2].spec.failure.routers, std::vector<int>{3});
+  EXPECT_EQ(suite.cases[3].spec.routing, "UGALPF");
+  EXPECT_EQ(suite.cases[6].spec.topology, "pf:q=7,p=4");
+
+  // Names discriminate exactly the varying axes.
+  EXPECT_EQ(suite.cases[0].spec.name, "grid [pf:q=5,p=3 MIN intact]");
+  EXPECT_EQ(suite.cases[1].spec.name,
+            "grid [pf:q=5,p=3 MIN kill=0.1@11]");
+  EXPECT_EQ(suite.cases[12].spec.name, "sat");
+
+  // Defaults merge: loads grid equals load_steps, config carries over
+  // with per-entry overrides layered on top.
+  EXPECT_EQ(suite.cases[0].loads, sim::load_steps(0.2, 0.8, 4));
+  EXPECT_EQ(suite.cases[0].spec.config.warmup_cycles, 100);
+  EXPECT_EQ(suite.cases[0].spec.config.seed, 7u);
+  EXPECT_FALSE(suite.cases[0].saturation);
+
+  const exp::SuiteCase& sat = suite.cases[12];
+  EXPECT_TRUE(sat.saturation);
+  EXPECT_EQ(sat.sat_lo, 0.1);
+  EXPECT_EQ(sat.sat_hi, 0.9);
+  EXPECT_EQ(sat.sat_tol, 0.05);
+  EXPECT_EQ(sat.sat_iters, 6);
+  EXPECT_EQ(sat.spec.config.vcs, 8);
+  EXPECT_EQ(sat.spec.config.warmup_cycles, 100);  // still from defaults
+  EXPECT_EQ(sat.spec.pattern, "randperm");
+  EXPECT_EQ(sat.spec.pattern_seed, 99u);
+  EXPECT_EQ(sat.spec.routing_options.ugal_threshold, 0.5);
+}
+
+TEST(SuiteParse, SchemaViolationsNameTheOffender) {
+  const auto expect_error = [](const std::string& doc,
+                               const std::string& needle) {
+    try {
+      exp::parse_suite(doc);
+      FAIL() << "expected std::invalid_argument for " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    } catch (const util::JsonError& e) {
+      FAIL() << "JsonError instead of schema error: " << e.what();
+    }
+  };
+  expect_error("{\"schema\": \"bogus/9\", \"scenarios\": [{}]}", "bogus/9");
+  expect_error("{\"schema\": \"polarfly-suite/1\"}", "scenarios");
+  expect_error("{\"schema\": \"polarfly-suite/1\", \"scenarios\": "
+               "[{\"topology\": \"pf:q=5\", \"loads\": [0.5], "
+               "\"typo_key\": 1}]}",
+               "typo_key");
+  expect_error("{\"schema\": \"polarfly-suite/1\", \"scenarios\": "
+               "[{\"loads\": [0.5]}]}",
+               "no topology");
+  expect_error("{\"schema\": \"polarfly-suite/1\", \"scenarios\": "
+               "[{\"topology\": \"pf:q=5\"}]}",
+               "loads");
+  expect_error("{\"schema\": \"polarfly-suite/1\", \"scenarios\": "
+               "[{\"topology\": \"pf:q=5\", \"loads\": [0.5], "
+               "\"failures\": [{\"link_rate\": 1.5}]}]}",
+               "link_rate");
+  expect_error("{\"schema\": \"polarfly-suite/1\", \"scenarios\": "
+               "[{\"topology\": \"pf:q=5\", \"loads\": [0.5], "
+               "\"failures\": [{\"links\": [[1]]}]}]}",
+               "[u, v]");
+  // The scenarios[i] index is part of the context.
+  expect_error("{\"schema\": \"polarfly-suite/1\", \"scenarios\": "
+               "[{\"topology\": \"pf:q=5\", \"loads\": [0.5]}, "
+               "{\"topology\": \"pf:q=5\", \"loads\": []}]}",
+               "scenarios[1]");
+}
+
+TEST(SuiteParse, CommittedPaperSuiteResolvesEverywhere) {
+  // The shipped paper matrix must parse, expand, and name only
+  // constructible topologies/routings/patterns — a committed-but-broken
+  // suite is exactly the drift this file exists to catch. (Parsing
+  // builds nothing; resolving builds each topology + oracle once via
+  // the shared registry.)
+  const exp::Suite suite =
+      exp::load_suite(std::string(PF_SUITE_DIR) + "/paper_figs.json");
+  EXPECT_EQ(suite.name, "paper_figs");
+  EXPECT_GE(suite.cases.size(), 80u);
+  auto& registry = exp::ScenarioRegistry::shared();
+  for (const auto& cs : suite.cases) {
+    ASSERT_FALSE(cs.loads.empty() && !cs.saturation) << cs.spec.name;
+    const exp::Scenario scenario = registry.make(cs.spec);
+    EXPECT_TRUE(exp::serves_all_terminals(*scenario.setup)) << cs.spec.name;
+  }
+}
+
+// ---- failure specs -------------------------------------------------------
+
+TEST(FailureSpec, SameSeedSameDamage) {
+  const core::PolarFly pf(7);
+  exp::FailureSpec spec;
+  spec.link_rate = 0.1;
+  spec.seed = 0xdeadULL;
+  const graph::Graph a = exp::apply_failures(pf.graph(), spec);
+  const graph::Graph b = exp::apply_failures(pf.graph(), spec);
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  EXPECT_LT(a.num_edges(), pf.graph().num_edges());
+
+  // The kill count is the integer-percent count of the original benches.
+  const auto total = static_cast<std::size_t>(pf.graph().num_edges());
+  EXPECT_EQ(static_cast<std::size_t>(a.num_edges()),
+            total - total * 10 / 100);
+
+  // A different seed kills a different set (overwhelmingly likely).
+  spec.seed = 0xbeefULL;
+  EXPECT_NE(exp::apply_failures(pf.graph(), spec).edge_list(),
+            a.edge_list());
+
+  // Same seed, higher rate: kill sets are nested (prefix property), so
+  // the higher-rate survivor set is a subset.
+  spec.seed = 0xdeadULL;
+  spec.link_rate = 0.2;
+  const graph::Graph c = exp::apply_failures(pf.graph(), spec);
+  for (const auto& edge : c.edge_list()) {
+    EXPECT_TRUE(a.has_edge(edge.first, edge.second));
+  }
+}
+
+TEST(FailureSpec, ExplicitLinksAndRouters) {
+  const core::PolarFly pf(5);
+  exp::FailureSpec spec;
+  spec.links = {{0, 1}};
+  spec.routers = {4};
+  std::vector<char> dead;
+  const graph::Graph damaged = exp::apply_failures(pf.graph(), spec, &dead);
+  EXPECT_FALSE(damaged.has_edge(0, 1));
+  EXPECT_EQ(damaged.degree(4), 0);
+  ASSERT_EQ(dead.size(), static_cast<std::size_t>(pf.num_vertices()));
+  EXPECT_TRUE(dead[4]);
+  EXPECT_FALSE(dead[0]);
+  EXPECT_EQ(spec.canonical(), "links=0-1,routers=4");
+
+  // Out-of-range specs throw and name the spec.
+  exp::FailureSpec bad;
+  bad.routers = {10000};
+  EXPECT_THROW(exp::apply_failures(pf.graph(), bad), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, FailureSpecIsPartOfTheCacheKey) {
+  auto& registry = exp::ScenarioRegistry::shared();
+  exp::FailureSpec kill;
+  kill.link_rate = 0.05;
+  kill.seed = 21;
+
+  const auto intact = registry.topology("pf:q=5,p=3");
+  const auto damaged = registry.topology("pf:q=5,p=3", kill);
+  EXPECT_NE(intact.get(), damaged.get());
+  EXPECT_NE(intact->oracle.get(), damaged->oracle.get());
+  EXPECT_LT(damaged->graph.num_edges(), intact->graph.num_edges());
+  // Structural handles are dropped on damaged setups: ALG must refuse.
+  EXPECT_EQ(damaged->polarfly, nullptr);
+  EXPECT_THROW(exp::make_routing(*damaged, "ALG"), std::invalid_argument);
+
+  // Same failure: cached. Different failure: distinct entry.
+  EXPECT_EQ(registry.topology("pf:q=5,p=3", kill).get(), damaged.get());
+  exp::FailureSpec other = kill;
+  other.seed = 22;
+  EXPECT_NE(registry.topology("pf:q=5,p=3", other).get(), damaged.get());
+
+  // Eviction clears damaged entries only.
+  EXPECT_GE(registry.evict_damaged(), 2u);
+  EXPECT_EQ(registry.topology("pf:q=5,p=3").get(), intact.get());
+  for (const auto& key : registry.cached_topologies()) {
+    EXPECT_EQ(key.find('|'), std::string::npos) << key;
+  }
+}
+
+// ---- suite runner --------------------------------------------------------
+
+sim::SimConfig quick_config() {
+  sim::SimConfig config;
+  config.warmup_cycles = 200;
+  config.measure_cycles = 400;
+  config.drain_cycles = 1200;
+  config.seed = 0xbe5c0ULL;
+  return config;
+}
+
+TEST(SuiteRunner, MatchesDirectEngineOnSmokeSuite) {
+  const exp::Suite suite = exp::load_suite(std::string(PF_SUITE_DIR) +
+                                           "/smoke.json");
+  ASSERT_EQ(suite.cases.size(), 7u);
+
+  exp::ResultLog log;
+  exp::SuiteRunner runner;
+  const std::size_t skipped = runner.run(suite, log);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(log.records().size(), suite.cases.size());
+
+  auto& registry = exp::ScenarioRegistry::shared();
+  for (std::size_t i = 0; i < suite.cases.size(); ++i) {
+    const exp::SuiteCase& cs = suite.cases[i];
+    const exp::Scenario scenario = registry.make(cs.spec);
+    const exp::RunRecord direct =
+        cs.saturation
+            ? exp::saturation_search(scenario, cs.sat_lo, cs.sat_hi,
+                                     cs.sat_tol, cs.sat_iters)
+            : exp::run_sweep(scenario, cs.loads);
+    const exp::RunRecord& suite_record = log.records()[i];
+    EXPECT_EQ(suite_record.label, direct.label);
+    ASSERT_EQ(suite_record.points.size(), direct.points.size())
+        << direct.label;
+    for (std::size_t k = 0; k < direct.points.size(); ++k) {
+      EXPECT_EQ(suite_record.points[k].offered, direct.points[k].offered);
+      EXPECT_EQ(suite_record.points[k].accepted, direct.points[k].accepted);
+      EXPECT_EQ(suite_record.points[k].avg_latency,
+                direct.points[k].avg_latency);
+      EXPECT_EQ(suite_record.points[k].p99_latency,
+                direct.points[k].p99_latency);
+      EXPECT_EQ(suite_record.points[k].converged,
+                direct.points[k].converged);
+      EXPECT_EQ(suite_record.points[k].mean_hops,
+                direct.points[k].mean_hops);
+    }
+    EXPECT_EQ(suite_record.saturation_estimate, direct.saturation_estimate);
+  }
+
+  // The emitted document parses back with every field intact.
+  const std::string json = exp::to_json(log.records(), "test_suite");
+  const exp::RunDocument doc = exp::parse_run_document(json);
+  EXPECT_EQ(doc.tool, "test_suite");
+  ASSERT_EQ(doc.records.size(), log.records().size());
+  for (std::size_t i = 0; i < doc.records.size(); ++i) {
+    EXPECT_EQ(exp::record_key(doc.records[i]),
+              exp::record_key(log.records()[i]));
+    EXPECT_EQ(doc.records[i].points.size(), log.records()[i].points.size());
+  }
+  // The randperm case records its pattern seed for replay.
+  bool saw_randperm = false;
+  for (const auto& record : doc.records) {
+    if (record.pattern == "randperm") {
+      saw_randperm = true;
+      EXPECT_EQ(record.pattern_seed, 65261u);
+    }
+  }
+  EXPECT_TRUE(saw_randperm);
+}
+
+TEST(SuiteRunner, FailureSpecReproducesHandRolledDamage) {
+  // The pre-refactor ablation_failed_links construction, by hand ...
+  const std::uint32_t q = 7;
+  const int p = 4;
+  const int pct = 10;
+  const core::PolarFly pf(q);
+  auto edges = pf.graph().edge_list();
+  util::Rng rng(0xdead11ULL + pct);
+  util::shuffle(edges, rng);
+  edges.resize(edges.size() * static_cast<std::size_t>(pct) / 100);
+  const graph::Graph damaged = pf.graph().without_edges(edges);
+  ASSERT_TRUE(graph::is_connected(damaged));
+  const auto hand = exp::make_graph_setup("PF-hand", damaged, p);
+  const auto config = quick_config();
+  const auto loads = sim::load_steps(0.3, 0.9, 4);
+
+  // ... must be bit-identical to the declarative failure-spec path.
+  exp::ScenarioSpec spec;
+  spec.topology = "pf:q=7,p=4";
+  spec.failure.link_rate = pct / 100.0;
+  spec.failure.seed = 0xdead11ULL + pct;
+  spec.config = config;
+  for (const char* kind : {"MIN", "UGALPF"}) {
+    spec.routing = kind;
+    const exp::Scenario scenario =
+        exp::ScenarioRegistry::shared().make(spec);
+    EXPECT_EQ(scenario.setup->graph.edge_list(), damaged.edge_list());
+
+    const auto pattern = exp::make_pattern(hand, "uniform", 0);
+    const auto routing = exp::make_routing(hand, kind);
+    const auto direct = exp::run_sweep(hand, *routing, *pattern, config,
+                                       loads, "hand");
+    const auto ported = exp::run_sweep(scenario, loads);
+    ASSERT_EQ(ported.points.size(), direct.points.size());
+    for (std::size_t k = 0; k < direct.points.size(); ++k) {
+      EXPECT_EQ(ported.points[k].accepted, direct.points[k].accepted);
+      EXPECT_EQ(ported.points[k].avg_latency, direct.points[k].avg_latency);
+      EXPECT_EQ(ported.points[k].p99_latency, direct.points[k].p99_latency);
+      EXPECT_EQ(ported.points[k].mean_hops, direct.points[k].mean_hops);
+    }
+  }
+}
+
+TEST(SuiteRunner, SkipsDisconnectedDamage) {
+  // A *router* kill removes the router's endpoints with it, so the rest
+  // of the network still serves all terminals and the case runs...
+  std::string doc =
+      "{\"schema\": \"polarfly-suite/1\", \"scenarios\": ["
+      "{\"topology\": \"pf:q=5,p=3\", \"loads\": [0.2],"
+      " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200},"
+      " \"failures\": [{\"routers\": [0]}]}]}";
+  exp::ResultLog ran;
+  exp::SuiteRunner runner;
+  EXPECT_EQ(runner.run(exp::parse_suite(doc), ran), 0u);
+  EXPECT_EQ(ran.records().size(), 1u);
+
+  // ... but stripping every *link* off router 0 strands a router that
+  // still hosts endpoints: the runner must skip the case (no oracle
+  // route exists) and report it via the return count.
+  const core::PolarFly pf(5);
+  std::string links;
+  for (const std::int32_t u : pf.graph().neighbors(0)) {
+    if (!links.empty()) links += ", ";
+    links += "[0, " + std::to_string(u) + "]";
+  }
+  doc = "{\"schema\": \"polarfly-suite/1\", \"scenarios\": ["
+        "{\"topology\": \"pf:q=5,p=3\", \"loads\": [0.2],"
+        " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200},"
+        " \"failures\": [{\"links\": [" + links + "]}]}]}";
+  exp::ResultLog log;
+  EXPECT_EQ(runner.run(exp::parse_suite(doc), log), 1u);
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(Results, RecordKeyIsStableAcrossReruns) {
+  exp::RunRecord record;
+  record.label = "fig08a [PF MIN]";
+  record.topology = "PolarFly ER_13";
+  record.routing = "MIN";
+  record.pattern = "uniform";
+  record.seed = 42;
+  record.points.push_back({0.3, 0.29, 20.0, 40.0, true, 2.0, 1234});
+  record.points.push_back({0.6, 0.55, 31.0, 60.0, true, 2.0, 1234});
+  const std::string key = exp::record_key(record);
+  EXPECT_NE(key.find("loads=0.3..0.6/2"), std::string::npos) << key;
+
+  // Measured values do not contribute to identity — a rerun with
+  // different latencies/throughput keys identically ...
+  exp::RunRecord rerun = record;
+  rerun.points[1].accepted = 0.61;
+  rerun.points[1].avg_latency = 28.5;
+  rerun.perf.sim_cycles = 999;
+  EXPECT_EQ(exp::record_key(rerun), key);
+
+  // ... but the experiment axes do: a different load grid, pattern seed,
+  // or a saturation search must not collapse onto the same key.
+  exp::RunRecord other_grid = record;
+  other_grid.points.resize(1);
+  EXPECT_NE(exp::record_key(other_grid), key);
+  exp::RunRecord seeded = record;
+  seeded.pattern_seed = 7;
+  EXPECT_NE(exp::record_key(seeded), key);
+  exp::RunRecord sat = record;
+  sat.saturation_estimate = 0.8;
+  EXPECT_NE(exp::record_key(sat), key);
+  EXPECT_NE(exp::record_key(sat).find("sat-search"), std::string::npos);
+}
+
+}  // namespace
