@@ -10,16 +10,20 @@
 //          [--ugal-threshold X] [--json PATH] [--csv PATH]
 //   pf_sim ... --saturation-search [--sat-lo 0.05] [--sat-hi 1.0]
 //          [--sat-tol 0.02] [--sat-iters 10]
-//   pf_sim suite <file.json> [--json PATH|-] [--quiet]
+//   pf_sim suite <file.json> [--json PATH|-] [--quiet] [--serial]
+//          [--case-workers N]
 //   pf_sim keys <records.json>
+//   pf_sim diff <baseline.json> <candidate.json> [--rtol R] [--atol A]
 //
 // Patterns: uniform | tornado | randperm | perm1hop | perm2hop | bitcomp
 // Routing:  MIN | VAL | CVAL | UGAL | UGALPF | NCA (fat tree) | ALG (PF)
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <string>
 
+#include "exp/diff.hpp"
 #include "exp/engine.hpp"
 #include "exp/results.hpp"
 #include "exp/scenario.hpp"
@@ -38,14 +42,50 @@
 namespace pf::apps {
 namespace {
 
+void usage_suite(std::FILE* f) {
+  std::fputs(
+      "usage: pf_sim suite <file.json> [--json PATH|-] [--quiet]\n"
+      "       [--serial] [--case-workers N]\n"
+      "  run a polarfly-suite/1 scenario suite end-to-end\n"
+      "  (docs/suite-format.md documents the file format)\n"
+      "  --json PATH|-    emit the runs as one polarfly-run/1 document\n"
+      "  --quiet          progress lines on stderr instead of tables\n"
+      "  --serial         run cases one at a time (default: the case\n"
+      "                   scheduler runs independent cases concurrently)\n"
+      "  --case-workers N max pool workers one case may occupy\n",
+      f);
+}
+
+void usage_keys(std::FILE* f) {
+  std::fputs(
+      "usage: pf_sim keys <records.json>\n"
+      "  print the record keys of a polarfly-run/1 document, one per "
+      "line\n",
+      f);
+}
+
+void usage_diff(std::FILE* f) {
+  std::fputs(
+      "usage: pf_sim diff <baseline.json> <candidate.json> "
+      "[--rtol R] [--atol A]\n"
+      "  compare two polarfly-run/1 documents record by record with\n"
+      "  tolerance-aware trajectory comparison (see docs/schemas.md);\n"
+      "  values match when |a-b| <= atol + rtol*max(|a|,|b|)\n"
+      "  (defaults: rtol 1e-9, atol 1e-12)\n"
+      "  exit 0: match, 1: drift/missing records, 2: bad invocation\n",
+      f);
+}
+
 int usage() {
   std::printf(
       "pf_sim --topology F [family params] --routing R --pattern P\n"
       "       (--load X | --loads lo:hi:count | --saturation-search)\n"
-      "pf_sim suite <file.json> [--json PATH|-] [--quiet]\n"
+      "pf_sim suite <file.json> [--json PATH|-] [--quiet] [--serial]\n"
       "       run a polarfly-suite/1 scenario suite end-to-end\n"
       "pf_sim keys <records.json>\n"
       "       print the record keys of a polarfly-run/1 document\n"
+      "pf_sim diff <baseline.json> <candidate.json> [--rtol R] [--atol A]\n"
+      "       tolerance-aware trajectory comparison of two documents\n"
       "\n"
       "options:\n"
       "  --endpoints N    endpoints per router (default: radix/2 balanced)\n"
@@ -67,38 +107,131 @@ int usage() {
       "\n"
       "routing: MIN VAL CVAL UGAL UGALPF NCA(fattree) ALG(polarfly)\n"
       "patterns: uniform tornado randperm perm1hop perm2hop bitcomp\n"
-      "\ntopologies:\n%s",
+      "\ntopologies (--topology also accepts a spec string like\n"
+      "\"pf:q=13,p=7\" — the suite-file syntax):\n%s",
       topo::topology_usage().c_str());
   return 2;
+}
+
+/// The required operand of a subcommand, or a usage-bearing exit: the
+/// message names the missing operand and the relevant usage follows.
+std::string operand_or_usage(const util::CliArgs& args, std::size_t index,
+                             const char* what, const char* subcommand,
+                             void (*usage_fn)(std::FILE*)) {
+  try {
+    return args.positional(index, what);
+  } catch (const util::CliError& e) {
+    std::fprintf(stderr, "pf_sim %s: %s\n", subcommand, e.what());
+    usage_fn(stderr);
+    std::exit(2);
+  }
+}
+
+/// Strict invocation check for the record-tooling subcommands: stray
+/// operands or unknown options are bad invocations (exit 2), not
+/// warnings — a typo'd --rtol must not silently loosen the CI gate.
+/// Call after every legitimate operand/option has been queried.
+bool reject_stray_arguments(const util::CliArgs& args,
+                            const char* subcommand) {
+  bool stray = false;
+  for (const auto& key : args.unused_keys()) {
+    std::fprintf(stderr, "pf_sim %s: unknown option --%s\n", subcommand,
+                 key.c_str());
+    stray = true;
+  }
+  for (const auto& operand : args.unused_positionals()) {
+    std::fprintf(stderr, "pf_sim %s: unexpected argument '%s'\n",
+                 subcommand, operand.c_str());
+    stray = true;
+  }
+  return stray;
+}
+
+/// Reads and parses one polarfly-run/1 document, or exits with a clear
+/// message plus the subcommand's usage (missing files name the operand
+/// they were meant to satisfy).
+exp::RunDocument load_run_document(const std::string& path,
+                                   const char* subcommand,
+                                   void (*usage_fn)(std::FILE*)) {
+  std::string text;
+  if (!util::read_text_file(path, text)) {
+    std::fprintf(stderr,
+                 "pf_sim %s: cannot read records file '%s'\n",
+                 subcommand, path.c_str());
+    usage_fn(stderr);
+    std::exit(2);
+  }
+  try {
+    return exp::parse_run_document(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pf_sim %s: %s: %s\n", subcommand, path.c_str(),
+                 e.what());
+    std::exit(2);
+  }
 }
 
 /// `pf_sim suite <file.json>`: load, expand, run, print — and emit the
 /// whole suite as one polarfly-run/1 document via --json (PATH or "-").
 int run_suite(const util::CliArgs& args) {
-  const std::string path = args.positional(0, "suite file");
-  const exp::Suite suite = exp::load_suite(path);
+  const std::string path =
+      operand_or_usage(args, 0, "suite file", "suite", usage_suite);
+  // Mirror load_run_document: an unreadable file is an operand problem
+  // and earns the usage; a schema error inside the file does not.
+  std::string text;
+  if (!util::read_text_file(path, text)) {
+    std::fprintf(stderr, "pf_sim suite: cannot read suite file '%s'\n",
+                 path.c_str());
+    usage_suite(stderr);
+    return 2;
+  }
+  exp::Suite suite;
+  try {
+    suite = exp::parse_suite(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pf_sim suite: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
   // Tables go to stdout — unless the JSON document does ("--json -"), in
   // which case stdout must stay a single well-formed document and the
-  // progress falls back to the --quiet stderr lines.
-  const bool quiet =
-      args.has("quiet") || args.str_or("json", "") == "-";
+  // progress falls back to the --quiet stderr lines. Query both flags
+  // unconditionally (no short-circuit) so the stray-argument check below
+  // sees them as consumed.
+  const std::string json_path = args.str_or("json", "");
+  const bool quiet = args.has("quiet") || json_path == "-";
   std::fprintf(stderr, "suite %s: %zu case(s)\n",
                suite.name.empty() ? path.c_str() : suite.name.c_str(),
                suite.cases.size());
 
+  exp::ScheduleOptions schedule;
+  schedule.parallel = !args.has("serial");
+  schedule.workers_per_case =
+      static_cast<int>(args.integer_or("case-workers", 0));
+  // Every legitimate option is queried by now; reject typos BEFORE the
+  // run — a silently dropped --json on a multi-hour suite is wasted work.
+  if (reject_stray_arguments(args, "suite")) return 2;
+
   exp::ResultLog log;
-  exp::SuiteRunner runner;
-  const std::size_t skipped = runner.run(
-      suite, log,
-      [quiet](const exp::RunRecord& record, std::size_t index,
-              std::size_t total) {
-        if (quiet) {
-          std::fprintf(stderr, "  [%zu/%zu] %s\n", index + 1, total,
-                       record.label.c_str());
-        } else {
-          exp::print_run(record);
-        }
-      });
+  exp::SuiteRunner runner(exp::ScenarioRegistry::shared(), schedule);
+  std::size_t skipped = 0;
+  try {
+    skipped = runner.run(
+        suite, log,
+        [quiet](const exp::RunRecord& record, std::size_t index,
+                std::size_t total) {
+          if (quiet) {
+            std::fprintf(stderr, "  [%zu/%zu] %s\n", index + 1, total,
+                         record.label.c_str());
+          } else {
+            exp::print_run(record);
+          }
+        });
+  } catch (const std::invalid_argument& e) {
+    // Content errors surfaced at scenario resolution (unknown routing/
+    // pattern/topology, infeasible parameters) are bad input like any
+    // schema error: name the file, exit 2.
+    std::fprintf(stderr, "pf_sim suite: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
   if (skipped > 0) {
     std::fprintf(stderr, "suite: %zu case(s) skipped\n", skipped);
   }
@@ -108,27 +241,63 @@ int run_suite(const util::CliArgs& args) {
 /// `pf_sim keys <records.json>`: one record key per line — the CI
 /// schema-drift gate diffs this against a committed expectation.
 int run_keys(const util::CliArgs& args) {
-  const std::string path = args.positional(0, "records file");
-  std::string text;
-  if (!util::read_text_file(path, text)) {
-    std::fprintf(stderr, "pf_sim keys: cannot read %s\n", path.c_str());
-    return 1;
-  }
-  const exp::RunDocument doc = exp::parse_run_document(text);
+  const std::string path =
+      operand_or_usage(args, 0, "records file", "keys", usage_keys);
+  if (reject_stray_arguments(args, "keys")) return 2;
+  const exp::RunDocument doc = load_run_document(path, "keys", usage_keys);
   for (const auto& record : doc.records) {
     std::printf("%s\n", exp::record_key(record).c_str());
   }
   return 0;
 }
 
+/// `pf_sim diff <baseline> <candidate>`: the trajectory regression gate.
+/// Exit 0 on a clean match, 1 on drift or missing records, 2 on bad
+/// invocation/unreadable input.
+int run_diff(const util::CliArgs& args) {
+  const std::string baseline_path = operand_or_usage(
+      args, 0, "baseline records file", "diff", usage_diff);
+  const std::string candidate_path = operand_or_usage(
+      args, 1, "candidate records file", "diff", usage_diff);
+  exp::DiffOptions options;
+  options.rtol = args.real_or("rtol", options.rtol);
+  options.atol = args.real_or("atol", options.atol);
+  if (reject_stray_arguments(args, "diff")) return 2;
+
+  const exp::RunDocument baseline =
+      load_run_document(baseline_path, "diff", usage_diff);
+  const exp::RunDocument candidate =
+      load_run_document(candidate_path, "diff", usage_diff);
+  const exp::DiffReport report =
+      exp::diff_documents(baseline, candidate, options);
+  return exp::print_diff_report(report, stdout) ? 0 : 1;
+}
+
 int run(int argc, char** argv) {
   const util::CliArgs args = util::CliArgs::parse(argc, argv);
-  if (args.command() == "suite") return run_suite(args);
-  if (args.command() == "keys") return run_keys(args);
+  if (args.command() == "suite" || args.command() == "keys" ||
+      args.command() == "diff") {
+    // A malformed option value (e.g. --rtol bogus) is a bad invocation
+    // (exit 2), not a drift/failure result (exit 1).
+    try {
+      if (args.command() == "suite") return run_suite(args);
+      if (args.command() == "keys") return run_keys(args);
+      return run_diff(args);
+    } catch (const util::CliError& e) {
+      std::fprintf(stderr, "pf_sim %s: %s\n", args.command().c_str(),
+                   e.what());
+      return 2;
+    }
+  }
   if (!args.command().empty()) {
-    std::fprintf(stderr, "pf_sim: unknown subcommand '%s'\n",
+    std::fprintf(stderr,
+                 "pf_sim: unknown subcommand '%s' (known: suite, keys, "
+                 "diff)\n",
                  args.command().c_str());
-    return usage();
+    usage_suite(stderr);
+    usage_keys(stderr);
+    usage_diff(stderr);
+    return 2;
   }
   if (!args.positionals().empty()) {
     std::fprintf(stderr, "pf_sim: unexpected argument '%s'\n",
@@ -137,9 +306,12 @@ int run(int argc, char** argv) {
   }
   if (!args.has("topology")) return usage();
 
-  const auto inst = topology_from_args(args);
-  const int p = static_cast<int>(
-      args.integer_or("endpoints", inst.default_concentration()));
+  // A spec-string p= ("pf:q=13,p=7") sets the endpoint count exactly as
+  // it does in suite files; --endpoints still wins when both are given.
+  int spec_p = -1;
+  const auto inst = topology_from_args(args, &spec_p);
+  const int p = static_cast<int>(args.integer_or(
+      "endpoints", spec_p > 0 ? spec_p : inst.default_concentration()));
   const exp::NetSetup setup = exp::make_setup(inst, p);
 
   sim::SimConfig config;

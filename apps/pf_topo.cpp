@@ -35,6 +35,10 @@ int usage() {
   std::printf(
       "pf_topo <command> [options]\n"
       "\n"
+      "--topology takes a family name plus parameter flags, or a spec\n"
+      "string like \"pf:q=13\" — the same syntax pf_sim and suite files\n"
+      "use (parameter flags override spec parameters).\n"
+      "\n"
       "commands:\n"
       "  generate   construct a topology and write it out\n"
       "             --topology F [family params]\n"

@@ -1,5 +1,9 @@
-// Shared app helper: build a TopologyInstance from --topology and its
-// per-family parameter flags (see topo::topology_usage()).
+// Shared app helper: build a TopologyInstance from --topology. The flag
+// accepts either a bare family plus per-family parameter flags (see
+// topo::topology_usage()) or a full spec string — "pf:q=13,p=7" — the
+// same syntax the scenario/suite layer uses, so one topology name works
+// across pf_topo, pf_sim and suites/*.json. Parameter flags layer on top
+// of (and override) spec parameters.
 #pragma once
 
 #include <string>
@@ -9,21 +13,23 @@
 
 namespace pf::apps {
 
-/// Collects the registry parameter flags present in `args` and constructs
-/// the topology. Throws util::CliError / std::invalid_argument with a
-/// user-facing message on bad input.
-inline topo::TopologyInstance topology_from_args(const util::CliArgs& args) {
-  const std::string family = args.str("topology");
-  topo::TopologyParams params;
+/// Collects the spec string and/or registry parameter flags present in
+/// `args` and constructs the topology. When `spec_endpoints` is non-null
+/// it receives the spec's `p=` value (endpoints per router, the suite
+/// layer's meaning) or -1 when the spec does not set one. Throws
+/// util::CliError / std::invalid_argument with a user-facing message on
+/// bad input.
+inline topo::TopologyInstance topology_from_args(
+    const util::CliArgs& args, int* spec_endpoints = nullptr) {
+  topo::TopologySpec spec = topo::parse_topology_spec(args.str("topology"));
   for (const char* key :
        {"q", "a", "b", "h", "p", "n", "k", "d", "lift", "arity", "levels",
         "seed"}) {
-    if (args.has(key)) params[key] = args.integer(key);
+    if (args.has(key)) spec.params[key] = args.integer(key);
   }
-  // "p" doubles as the endpoint flag of pf_sim; only dragonfly consumes it
-  // as a structural parameter.
-  if (family != "dragonfly") params.erase("p");
-  return topo::make_topology(family, params);
+  const int p = static_cast<int>(topo::extract_endpoints(spec));
+  if (spec_endpoints != nullptr) *spec_endpoints = p;
+  return topo::make_topology(spec.family, spec.params);
 }
 
 }  // namespace pf::apps

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Markdown link check: every relative [text](target) link in the given
+# files must resolve to an existing file/directory (anchors stripped).
+# External links (http/https/mailto) are skipped — CI must not depend on
+# the network. Usage: scripts/check_md_links.sh README.md docs/*.md
+set -u
+
+status=0
+for file in "$@"; do
+  if [ ! -f "$file" ]; then
+    echo "check_md_links: no such file: $file" >&2
+    status=1
+    continue
+  fi
+  dir=$(dirname "$file")
+  # Inline links only; reference-style links are not used in this repo.
+  grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*(\(.*\))/\1/' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;;  # same-document anchor
+    esac
+    # Resolve relative to the linking file's directory — the rule GitHub
+    # renders by; a link that only resolves from the repo root is broken.
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "$file: broken link -> $target" >&2
+      echo broken > "${TMPDIR:-/tmp}/md_link_failed.$$"
+    fi
+  done
+  if [ -f "${TMPDIR:-/tmp}/md_link_failed.$$" ]; then
+    rm -f "${TMPDIR:-/tmp}/md_link_failed.$$"
+    status=1
+  fi
+done
+if [ "$status" -eq 0 ]; then
+  echo "check_md_links: all relative links resolve"
+fi
+exit "$status"

@@ -1,0 +1,181 @@
+#include "exp/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace pf::exp {
+namespace {
+
+/// Accumulates one record pair's comparisons into the report.
+class RecordComparator {
+ public:
+  RecordComparator(DiffReport& report, const DiffOptions& options,
+                   const std::string& key)
+      : report_(report), options_(options), key_(key) {}
+
+  /// Tolerance-aware double comparison.
+  void metric(const std::string& field, double baseline, double candidate) {
+    ++report_.values_compared;
+    if (values_match(baseline, candidate, options_)) return;
+    FieldDrift drift;
+    drift.key = key_;
+    drift.field = field;
+    drift.baseline = baseline;
+    drift.candidate = candidate;
+    drift.abs_err = std::abs(baseline - candidate);
+    const double scale = std::max(std::abs(baseline), std::abs(candidate));
+    drift.rel_err = scale > 0.0 ? drift.abs_err / scale : 0.0;
+    report_.drifts.push_back(std::move(drift));
+  }
+
+  /// Exact comparison for counts, cycles and booleans-as-integers —
+  /// tolerance never applies to discrete fields.
+  void exact(const std::string& field, std::int64_t baseline,
+             std::int64_t candidate) {
+    ++report_.values_compared;
+    if (baseline == candidate) return;
+    FieldDrift drift;
+    drift.key = key_;
+    drift.field = field;
+    drift.baseline = static_cast<double>(baseline);
+    drift.candidate = static_cast<double>(candidate);
+    drift.abs_err = std::abs(drift.baseline - drift.candidate);
+    const double scale =
+        std::max(std::abs(drift.baseline), std::abs(drift.candidate));
+    drift.rel_err = scale > 0.0 ? drift.abs_err / scale : 0.0;
+    report_.drifts.push_back(std::move(drift));
+  }
+
+ private:
+  DiffReport& report_;
+  const DiffOptions& options_;
+  const std::string& key_;
+};
+
+void compare_records(const RunRecord& baseline, const RunRecord& candidate,
+                     const std::string& key, const DiffOptions& options,
+                     DiffReport& report) {
+  RecordComparator cmp(report, options, key);
+  cmp.exact("routers", baseline.routers, candidate.routers);
+  cmp.exact("terminals", baseline.terminals, candidate.terminals);
+
+  // Trajectory: the per-load-point measurements. A point-count mismatch
+  // (possible for saturation searches, whose keys carry no grid) is one
+  // drift plus a comparison of the common prefix; a mismatched load axis
+  // surfaces as points[i].offered drift.
+  if (baseline.points.size() != candidate.points.size()) {
+    cmp.exact("points.count",
+              static_cast<std::int64_t>(baseline.points.size()),
+              static_cast<std::int64_t>(candidate.points.size()));
+  }
+  const std::size_t common =
+      std::min(baseline.points.size(), candidate.points.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const RunPoint& b = baseline.points[i];
+    const RunPoint& c = candidate.points[i];
+    const std::string at = "points[" + std::to_string(i) + "].";
+    cmp.metric(at + "offered", b.offered, c.offered);
+    cmp.metric(at + "accepted", b.accepted, c.accepted);
+    cmp.metric(at + "avg_latency", b.avg_latency, c.avg_latency);
+    cmp.metric(at + "p99_latency", b.p99_latency, c.p99_latency);
+    cmp.metric(at + "mean_hops", b.mean_hops, c.mean_hops);
+    cmp.exact(at + "cycles", b.cycles, c.cycles);
+    cmp.exact(at + "converged", b.converged ? 1 : 0, c.converged ? 1 : 0);
+  }
+
+  cmp.metric("saturation_estimate", baseline.saturation_estimate,
+             candidate.saturation_estimate);
+
+  // Deterministic perf counters only: wall_seconds and cycles_per_sec
+  // measure the machine, not the simulation, and are skipped.
+  cmp.exact("perf.sim_cycles", baseline.perf.sim_cycles,
+            candidate.perf.sim_cycles);
+  cmp.metric("perf.mean_hop_count", baseline.perf.mean_hop_count,
+             candidate.perf.mean_hop_count);
+  cmp.exact("perf.peak_vc_occupancy", baseline.perf.peak_vc_occupancy,
+            candidate.perf.peak_vc_occupancy);
+}
+
+}  // namespace
+
+bool values_match(double baseline, double candidate,
+                  const DiffOptions& options) {
+  if (std::isnan(baseline) && std::isnan(candidate)) return true;
+  if (std::isnan(baseline) || std::isnan(candidate)) return false;
+  if (baseline == candidate) return true;  // covers equal infinities
+  if (std::isinf(baseline) || std::isinf(candidate)) return false;
+  return std::abs(baseline - candidate) <=
+         options.atol + options.rtol *
+                            std::max(std::abs(baseline),
+                                     std::abs(candidate));
+}
+
+DiffReport diff_documents(const RunDocument& baseline,
+                          const RunDocument& candidate,
+                          const DiffOptions& options) {
+  DiffReport report;
+
+  // Index candidate records by key; duplicates queue up in document
+  // order and match baseline occurrences one for one.
+  std::map<std::string, std::vector<std::size_t>> by_key;
+  for (std::size_t i = 0; i < candidate.records.size(); ++i) {
+    by_key[record_key(candidate.records[i])].push_back(i);
+  }
+  std::map<std::string, std::size_t> consumed;
+  std::vector<char> matched(candidate.records.size(), 0);
+
+  for (const RunRecord& record : baseline.records) {
+    const std::string key = record_key(record);
+    const auto it = by_key.find(key);
+    std::size_t& used = consumed[key];
+    if (it == by_key.end() || used >= it->second.size()) {
+      report.only_in_baseline.push_back(key);
+      continue;
+    }
+    const std::size_t index = it->second[used++];
+    matched[index] = 1;
+    ++report.records_matched;
+    compare_records(record, candidate.records[index], key, options, report);
+  }
+  for (std::size_t i = 0; i < candidate.records.size(); ++i) {
+    if (!matched[i]) {
+      report.only_in_candidate.push_back(record_key(candidate.records[i]));
+    }
+  }
+  return report;
+}
+
+bool print_diff_report(const DiffReport& report, std::FILE* out) {
+  for (const auto& key : report.only_in_baseline) {
+    std::fprintf(out, "only in baseline:  %s\n", key.c_str());
+  }
+  for (const auto& key : report.only_in_candidate) {
+    std::fprintf(out, "only in candidate: %s\n", key.c_str());
+  }
+  for (const auto& drift : report.drifts) {
+    std::fprintf(out,
+                 "drift: %s\n"
+                 "       %s: baseline %.17g vs candidate %.17g "
+                 "(abs %.3g, rel %.3g)\n",
+                 drift.key.c_str(), drift.field.c_str(), drift.baseline,
+                 drift.candidate, drift.abs_err, drift.rel_err);
+  }
+  if (report.clean()) {
+    std::fprintf(out,
+                 "OK: %zu record(s), %zu value(s) compared, all within "
+                 "tolerance\n",
+                 report.records_matched, report.values_compared);
+  } else {
+    std::fprintf(out,
+                 "FAIL: %zu drifted value(s), %zu baseline-only, %zu "
+                 "candidate-only record(s) (%zu matched, %zu value(s) "
+                 "compared)\n",
+                 report.drifts.size(), report.only_in_baseline.size(),
+                 report.only_in_candidate.size(), report.records_matched,
+                 report.values_compared);
+  }
+  return report.clean();
+}
+
+}  // namespace pf::exp

@@ -1,0 +1,67 @@
+// Tolerance-aware trajectory comparison of polarfly-run/1 documents —
+// the regression gate behind `pf_sim diff <baseline> <candidate>`.
+// Records are matched by record_key() (identity only: label, axes,
+// seeds, load grid), then their whole trajectories are compared value by
+// value: every point's offered/accepted load, latencies, hops and cycle
+// counts, the saturation estimate, and the deterministic perf counters.
+// Machine-dependent perf fields (wall_seconds, cycles_per_sec) are
+// deliberately NOT compared. See docs/schemas.md for the conventions.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/results.hpp"
+
+namespace pf::exp {
+
+struct DiffOptions {
+  /// Two values match when |a - b| <= atol + rtol * max(|a|, |b|)
+  /// (boundary inclusive), both are NaN, or they compare equal (which
+  /// covers equal infinities). Integer and boolean fields are always
+  /// compared exactly.
+  double rtol = 1e-9;
+  double atol = 1e-12;
+};
+
+/// One value that moved beyond tolerance between two matched records.
+struct FieldDrift {
+  std::string key;    ///< record_key() of the matched pair
+  std::string field;  ///< e.g. "points[3].avg_latency"
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double abs_err = 0.0;  ///< |baseline - candidate| (NaN-vs-number: NaN)
+  double rel_err = 0.0;  ///< abs_err / max(|baseline|, |candidate|)
+};
+
+struct DiffReport {
+  std::vector<std::string> only_in_baseline;   ///< unmatched record keys
+  std::vector<std::string> only_in_candidate;  ///< in candidate order
+  std::vector<FieldDrift> drifts;              ///< in baseline order
+  std::size_t records_matched = 0;
+  std::size_t values_compared = 0;
+
+  bool clean() const {
+    return only_in_baseline.empty() && only_in_candidate.empty() &&
+           drifts.empty();
+  }
+};
+
+/// The scalar comparison rule of DiffOptions, exposed for tests.
+bool values_match(double baseline, double candidate,
+                  const DiffOptions& options);
+
+/// Record-by-record comparison keyed by record_key(). Duplicate keys
+/// (legal in raw bench output) match by occurrence order; unmatched
+/// occurrences land in only_in_*.
+DiffReport diff_documents(const RunDocument& baseline,
+                          const RunDocument& candidate,
+                          const DiffOptions& options = {});
+
+/// Human-readable report — one line per missing record and per drifted
+/// value, plus a summary line. Returns report.clean().
+bool print_diff_report(const DiffReport& report, std::FILE* out);
+
+}  // namespace pf::exp

@@ -8,22 +8,6 @@
 namespace pf::exp {
 namespace {
 
-RunRecord make_record(const NetSetup& setup,
-                      const sim::RoutingAlgorithm& routing,
-                      const sim::TrafficPattern& pattern,
-                      const sim::SimConfig& config,
-                      const std::string& label) {
-  RunRecord record;
-  record.label = label;
-  record.topology = setup.name;
-  record.routing = routing.name();
-  record.pattern = pattern.name();
-  record.routers = setup.graph.num_vertices();
-  record.terminals = pattern.num_terminals();
-  record.seed = config.seed;
-  return record;
-}
-
 /// Runs one point on `net` (already reset to the right load) and folds
 /// the network's counters into the record-level aggregates.
 RunPoint run_point(sim::Network& net, std::int64_t& hops,
@@ -43,8 +27,45 @@ RunPoint run_point(sim::Network& net, std::int64_t& hops,
   return point;
 }
 
-void finish_perf(RunRecord& record, std::int64_t hops,
-                 std::int64_t delivered, int peak_vc, double wall_seconds) {
+}  // namespace
+
+RunRecord prepare_sweep_record(const NetSetup& setup,
+                               const sim::RoutingAlgorithm& routing,
+                               const sim::TrafficPattern& pattern,
+                               const sim::SimConfig& config,
+                               std::size_t num_points,
+                               const std::string& label) {
+  RunRecord record;
+  record.label = label;
+  record.topology = setup.name;
+  record.routing = routing.name();
+  record.pattern = pattern.name();
+  record.routers = setup.graph.num_vertices();
+  record.terminals = pattern.num_terminals();
+  record.seed = config.seed;
+  record.points.resize(num_points);
+  return record;
+}
+
+void run_sweep_shard(const NetSetup& setup,
+                     const sim::RoutingAlgorithm& routing,
+                     const sim::TrafficPattern& pattern,
+                     const sim::SimConfig& config,
+                     const std::vector<double>& loads, std::size_t offset,
+                     std::size_t stride, std::vector<RunPoint>& points,
+                     SweepCounters& counters) {
+  if (offset >= loads.size()) return;
+  sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
+                   loads[offset]);
+  for (std::size_t i = offset; i < loads.size(); i += stride) {
+    if (i != offset) net.reset(loads[i]);
+    points[i] =
+        run_point(net, counters.hops, counters.delivered, counters.peak_vc);
+  }
+}
+
+void finish_sweep_record(RunRecord& record, const SweepCounters& counters,
+                         double wall_seconds) {
   for (const auto& point : record.points) {
     record.perf.sim_cycles += point.cycles;
   }
@@ -54,13 +75,12 @@ void finish_perf(RunRecord& record, std::int64_t hops,
           ? static_cast<double>(record.perf.sim_cycles) / wall_seconds
           : 0.0;
   record.perf.mean_hop_count =
-      delivered > 0 ? static_cast<double>(hops) /
-                          static_cast<double>(delivered)
-                    : 0.0;
-  record.perf.peak_vc_occupancy = peak_vc;
+      counters.delivered > 0
+          ? static_cast<double>(counters.hops) /
+                static_cast<double>(counters.delivered)
+          : 0.0;
+  record.perf.peak_vc_occupancy = counters.peak_vc;
 }
-
-}  // namespace
 
 double RunRecord::saturation() const {
   double best = 0.0;
@@ -74,8 +94,8 @@ RunRecord run_sweep(const NetSetup& setup,
                     const sim::SimConfig& config,
                     const std::vector<double>& loads,
                     const std::string& label) {
-  RunRecord record = make_record(setup, routing, pattern, config, label);
-  record.points.resize(loads.size());
+  RunRecord record = prepare_sweep_record(setup, routing, pattern, config,
+                                          loads.size(), label);
 
   // One Network per worker, rewound between its points: loads.size()
   // simulations share max `workers` channel-index constructions, and a
@@ -83,29 +103,19 @@ RunRecord run_sweep(const NetSetup& setup,
   const std::size_t workers =
       std::min<std::size_t>(loads.size(),
                             util::ThreadPool::shared().num_threads());
-  std::vector<std::int64_t> hops(workers, 0), delivered(workers, 0);
-  std::vector<int> peaks(workers, 0);
+  std::vector<SweepCounters> counters(workers);
 
   const auto start = std::chrono::steady_clock::now();
   util::parallel_for(0, workers, [&](std::size_t w) {
-    sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
-                     loads[w]);
-    for (std::size_t i = w; i < loads.size(); i += workers) {
-      if (i != w) net.reset(loads[i]);
-      record.points[i] = run_point(net, hops[w], delivered[w], peaks[w]);
-    }
+    run_sweep_shard(setup, routing, pattern, config, loads, w, workers,
+                    record.points, counters[w]);
   });
   const auto stop = std::chrono::steady_clock::now();
 
-  std::int64_t total_hops = 0, total_delivered = 0;
-  int peak_vc = 0;
-  for (std::size_t w = 0; w < workers; ++w) {
-    total_hops += hops[w];
-    total_delivered += delivered[w];
-    peak_vc = std::max(peak_vc, peaks[w]);
-  }
-  finish_perf(record, total_hops, total_delivered, peak_vc,
-              std::chrono::duration<double>(stop - start).count());
+  SweepCounters total;
+  for (const SweepCounters& c : counters) total += c;
+  finish_sweep_record(record, total,
+                      std::chrono::duration<double>(stop - start).count());
   return record;
 }
 
@@ -121,9 +131,9 @@ RunRecord saturation_search(const NetSetup& setup,
                             const sim::SimConfig& config,
                             const std::string& label, double lo, double hi,
                             double tol, int max_iters) {
-  RunRecord record = make_record(setup, routing, pattern, config, label);
-  std::int64_t hops = 0, delivered = 0;
-  int peak_vc = 0;
+  RunRecord record =
+      prepare_sweep_record(setup, routing, pattern, config, 0, label);
+  SweepCounters counters;
 
   const auto start = std::chrono::steady_clock::now();
   sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
@@ -132,7 +142,8 @@ RunRecord saturation_search(const NetSetup& setup,
   // into it would dangle across probe() calls.
   const auto probe = [&](double load) -> RunPoint {
     net.reset(load);
-    record.points.push_back(run_point(net, hops, delivered, peak_vc));
+    record.points.push_back(run_point(net, counters.hops, counters.delivered,
+                                      counters.peak_vc));
     return record.points.back();
   };
   const auto stable = [tol](const RunPoint& point) {
@@ -169,8 +180,8 @@ RunRecord saturation_search(const NetSetup& setup,
   }
   const auto stop = std::chrono::steady_clock::now();
 
-  finish_perf(record, hops, delivered, peak_vc,
-              std::chrono::duration<double>(stop - start).count());
+  finish_sweep_record(record, counters,
+                      std::chrono::duration<double>(stop - start).count());
   return record;
 }
 

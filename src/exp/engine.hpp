@@ -60,6 +60,55 @@ struct RunRecord {
   double saturation() const;
 };
 
+// ---- sweep building blocks ----------------------------------------------
+//
+// run_sweep is composed from three primitives so schedulers above the
+// engine (the suite case scheduler) can slice one sweep into independent
+// strided shards and run shards of *different* records side by side on
+// the pool. Point values are bit-identical however a sweep is sharded:
+// each point is simulated on a Network that is either freshly built or
+// reset(), and reset is proven bit-identical to fresh construction.
+
+/// Per-shard accumulator for the record-level perf counters.
+struct SweepCounters {
+  std::int64_t hops = 0;       ///< measured hops, summed over points
+  std::int64_t delivered = 0;  ///< delivered packets, summed over points
+  int peak_vc = 0;             ///< deepest single VC ring seen
+
+  SweepCounters& operator+=(const SweepCounters& other) {
+    hops += other.hops;
+    delivered += other.delivered;
+    peak_vc = peak_vc > other.peak_vc ? peak_vc : other.peak_vc;
+    return *this;
+  }
+};
+
+/// The record shell for a sweep: axes/provenance filled from the
+/// scenario, `points` resized to num_points, nothing simulated yet.
+RunRecord prepare_sweep_record(const NetSetup& setup,
+                               const sim::RoutingAlgorithm& routing,
+                               const sim::TrafficPattern& pattern,
+                               const sim::SimConfig& config,
+                               std::size_t num_points,
+                               const std::string& label);
+
+/// Simulates the strided shard {offset, offset+stride, ...} of `loads` on
+/// the calling thread, reusing ONE Network via reset() across its points.
+/// Writes points[i] for exactly the indices it owns (points must already
+/// have loads.size() entries) and folds this shard's perf counters.
+void run_sweep_shard(const NetSetup& setup,
+                     const sim::RoutingAlgorithm& routing,
+                     const sim::TrafficPattern& pattern,
+                     const sim::SimConfig& config,
+                     const std::vector<double>& loads, std::size_t offset,
+                     std::size_t stride, std::vector<RunPoint>& points,
+                     SweepCounters& counters);
+
+/// Folds the merged counters and the measured wall time into record.perf
+/// (sim_cycles is summed from the record's points).
+void finish_sweep_record(RunRecord& record, const SweepCounters& counters,
+                         double wall_seconds);
+
 /// Sweeps the given loads. Points are simulated in parallel on the shared
 /// pool; each worker reuses one Network via reset().
 RunRecord run_sweep(const NetSetup& setup,

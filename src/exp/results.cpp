@@ -1,11 +1,24 @@
 #include "exp/results.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 #include "util/json.hpp"
 
 namespace pf::exp {
+namespace {
+
+/// Measurement fields round-trip through JSON as null when non-finite
+/// (JsonWriter degrades NaN/inf to null); read them back as NaN so diff
+/// tooling can compare them instead of choking on the type.
+double as_metric(const util::JsonValue& value) {
+  return value.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                         : value.as_double();
+}
+
+}  // namespace
 
 util::Table sweep_table(const RunRecord& record) {
   util::Table table(
@@ -120,17 +133,17 @@ RunDocument parse_run_document(const util::JsonValue& root) {
       else if (key == "saturation") {
         // Derived from the points; nothing to restore.
       } else if (key == "saturation_estimate") {
-        record.saturation_estimate = value.as_double();
+        record.saturation_estimate = as_metric(value);
       } else if (key == "points") {
         for (const auto& p : value.items()) {
           RunPoint point;
           for (const auto& [pkey, pvalue] : p.members()) {
-            if (pkey == "offered") point.offered = pvalue.as_double();
-            else if (pkey == "accepted") point.accepted = pvalue.as_double();
-            else if (pkey == "avg_latency") point.avg_latency = pvalue.as_double();
-            else if (pkey == "p99_latency") point.p99_latency = pvalue.as_double();
+            if (pkey == "offered") point.offered = as_metric(pvalue);
+            else if (pkey == "accepted") point.accepted = as_metric(pvalue);
+            else if (pkey == "avg_latency") point.avg_latency = as_metric(pvalue);
+            else if (pkey == "p99_latency") point.p99_latency = as_metric(pvalue);
             else if (pkey == "converged") point.converged = pvalue.as_bool();
-            else if (pkey == "mean_hops") point.mean_hops = pvalue.as_double();
+            else if (pkey == "mean_hops") point.mean_hops = as_metric(pvalue);
             else if (pkey == "cycles") point.cycles = pvalue.as_int();
             else {
               throw std::invalid_argument("unknown point key '" + pkey + "'");
@@ -141,9 +154,9 @@ RunDocument parse_run_document(const util::JsonValue& root) {
       } else if (key == "perf") {
         for (const auto& [pkey, pvalue] : value.members()) {
           if (pkey == "sim_cycles") record.perf.sim_cycles = pvalue.as_int();
-          else if (pkey == "wall_seconds") record.perf.wall_seconds = pvalue.as_double();
-          else if (pkey == "cycles_per_sec") record.perf.cycles_per_sec = pvalue.as_double();
-          else if (pkey == "mean_hop_count") record.perf.mean_hop_count = pvalue.as_double();
+          else if (pkey == "wall_seconds") record.perf.wall_seconds = as_metric(pvalue);
+          else if (pkey == "cycles_per_sec") record.perf.cycles_per_sec = as_metric(pvalue);
+          else if (pkey == "mean_hop_count") record.perf.mean_hop_count = as_metric(pvalue);
           else if (pkey == "peak_vc_occupancy") {
             record.perf.peak_vc_occupancy = static_cast<int>(pvalue.as_int());
           } else {

@@ -39,16 +39,6 @@ std::string join_kinds(const std::vector<std::string>& kinds) {
   return out;
 }
 
-std::string canonical_family(const std::string& family) {
-  if (family == "pf") return "polarfly";
-  if (family == "pfx") return "polarfly-exp";
-  if (family == "sf") return "slimfly";
-  if (family == "df") return "dragonfly";
-  if (family == "ft") return "fattree";
-  if (family == "jf") return "jellyfish";
-  return family;
-}
-
 }  // namespace
 
 std::string FailureSpec::canonical() const {
@@ -327,48 +317,11 @@ std::vector<NetSetup> make_table5_setups(bool full_scale) {
 
 std::shared_ptr<const NetSetup> ScenarioRegistry::topology(
     const std::string& spec) {
-  // Parse "family:k=v,k=v" into a canonical cache key + params.
-  const auto colon = spec.find(':');
-  const std::string family =
-      canonical_family(colon == std::string::npos ? spec
-                                                  : spec.substr(0, colon));
-  topo::TopologyParams params;
-  if (colon != std::string::npos) {
-    std::string rest = spec.substr(colon + 1);
-    std::size_t pos = 0;
-    while (pos < rest.size()) {
-      const auto comma = rest.find(',', pos);
-      const std::string item =
-          rest.substr(pos, comma == std::string::npos ? std::string::npos
-                                                      : comma - pos);
-      const auto eq = item.find('=');
-      if (eq == std::string::npos || eq == 0) {
-        throw std::invalid_argument("topology spec '" + spec +
-                                    "': expected key=value, got '" + item +
-                                    "'");
-      }
-      try {
-        std::size_t used = 0;
-        const std::int64_t value = std::stoll(item.substr(eq + 1), &used);
-        if (used != item.size() - eq - 1) throw std::invalid_argument(item);
-        params[item.substr(0, eq)] = value;
-      } catch (const std::exception&) {
-        throw std::invalid_argument("topology spec '" + spec +
-                                    "': parameter '" + item +
-                                    "' is not an integer");
-      }
-      pos = comma == std::string::npos ? rest.size() : comma + 1;
-    }
-  }
-
-  // Canonical key: family + sorted params (TopologyParams is a std::map).
-  std::string key = family;
-  char sep = ':';
-  for (const auto& [k, v] : params) {
-    key += sep;
-    key += k + "=" + std::to_string(v);
-    sep = ',';
-  }
+  // One spec syntax across every surface: the shared topo parser turns
+  // "family:k=v,k=v" into the canonical cache key + params. The key is
+  // taken before extract_endpoints so p= stays part of the identity.
+  topo::TopologySpec parsed = topo::parse_topology_spec(spec);
+  const std::string key = topo::canonical_spec(parsed);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -378,16 +331,8 @@ std::shared_ptr<const NetSetup> ScenarioRegistry::topology(
 
   // Build outside the lock (construction may parallel_for internally);
   // a racing duplicate build is wasted work, not an error.
-  topo::TopologyParams topo_params = params;
-  const auto p_it = topo_params.find("p");
-  std::int64_t p = -1;
-  if (p_it != topo_params.end()) {
-    p = p_it->second;
-    // "p" doubles as the endpoint count; only dragonfly consumes it as a
-    // structural parameter (mirroring apps/topo_args.hpp).
-    if (family != "dragonfly") topo_params.erase("p");
-  }
-  const auto inst = topo::make_topology(family, topo_params);
+  const std::int64_t p = topo::extract_endpoints(parsed);
+  const auto inst = topo::make_topology(parsed.family, parsed.params);
   auto setup = std::make_shared<NetSetup>(make_setup(
       inst, static_cast<int>(p > 0 ? p : inst.default_concentration())));
 

@@ -1,10 +1,16 @@
 #include "exp/suite.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 #include "sim/harness.hpp"
 #include "util/json.hpp"
+#include "util/parallel.hpp"
 
 namespace pf::exp {
 namespace {
@@ -323,32 +329,215 @@ bool serves_all_terminals(const NetSetup& setup) {
   return first >= 0;
 }
 
+namespace {
+
+/// The per-case state the parallel scheduler threads share. `record` is
+/// written by this case's units only; `done` is flipped under the
+/// scheduler mutex so the emitting thread can wait on it.
+struct CaseState {
+  bool skip = false;
+  Scenario scenario;
+  RunRecord record;
+  std::vector<SweepCounters> counters;       ///< one per shard (grid cases)
+  std::atomic<int> remaining{0};             ///< units still to finish
+  std::atomic<bool> started{false};
+  std::chrono::steady_clock::time_point start;
+  bool done = false;
+};
+
+/// One schedulable slice: shard `shard` of case `case_index` (grid
+/// cases), or the whole saturation search (shard 0 of a 1-unit case).
+struct Unit {
+  std::size_t case_index = 0;
+  std::size_t shard = 0;
+};
+
+void stamp_pattern_seed(const ScenarioSpec& spec, RunRecord& record) {
+  if (pattern_uses_seed(spec.pattern)) {
+    record.pattern_seed =
+        spec.pattern_seed != 0 ? spec.pattern_seed : spec.config.seed;
+  }
+}
+
+}  // namespace
+
 std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
                              const Callback& on_record) {
+  const std::size_t total = suite.cases.size();
   std::size_t skipped = 0;
   try {
-    for (std::size_t i = 0; i < suite.cases.size(); ++i) {
-      const SuiteCase& cs = suite.cases[i];
-      const Scenario scenario = registry_.make(cs.spec);
-      if (!serves_all_terminals(*scenario.setup)) {
+    // Phase 1 — resolve every case up front on the calling thread, so
+    // topology + oracle construction keeps its internal parallelism (a
+    // pool worker would run those parallel_fors inline) and cached
+    // setups are shared instead of raced into existence.
+    std::vector<CaseState> states(total);
+    std::size_t runnable = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+      states[i].scenario = registry_.make(suite.cases[i].spec);
+      if (!serves_all_terminals(*states[i].scenario.setup)) {
         std::fprintf(stderr,
                      "suite %s: skipping '%s' — damaged graph no longer "
                      "connects all terminals\n",
-                     suite.name.c_str(), scenario.label.c_str());
+                     suite.name.c_str(), states[i].scenario.label.c_str());
+        states[i].skip = true;
         ++skipped;
         continue;
       }
-      RunRecord record =
-          cs.saturation ? saturation_search(scenario, cs.sat_lo, cs.sat_hi,
-                                            cs.sat_tol, cs.sat_iters)
-                        : run_sweep(scenario, cs.loads);
-      if (pattern_uses_seed(cs.spec.pattern)) {
-        record.pattern_seed = cs.spec.pattern_seed != 0
-                                  ? cs.spec.pattern_seed
-                                  : cs.spec.config.seed;
+      ++runnable;
+    }
+
+    // The parallel scheduler also runs on a single-thread pool (one
+    // dispatcher drains the unit queue) — same machinery everywhere, so
+    // single-core boxes still execute the code multi-core runners rely
+    // on. Only --serial and trivial suites take the serial loop.
+    util::ThreadPool& pool = util::ThreadPool::shared();
+    if (!schedule_.parallel || runnable <= 1) {
+      // Serial scheduler: one case at a time, each case parallelizing
+      // internally across the whole pool (run_sweep's own sharding).
+      for (std::size_t i = 0; i < total; ++i) {
+        if (states[i].skip) continue;
+        const SuiteCase& cs = suite.cases[i];
+        const Scenario& scenario = states[i].scenario;
+        RunRecord record =
+            cs.saturation ? saturation_search(scenario, cs.sat_lo, cs.sat_hi,
+                                              cs.sat_tol, cs.sat_iters)
+                          : run_sweep(scenario, cs.loads);
+        stamp_pattern_seed(cs.spec, record);
+        log.add(std::move(record));
+        if (on_record) on_record(log.records().back(), i, total);
       }
-      log.add(std::move(record));
-      if (on_record) on_record(log.records().back(), i, suite.cases.size());
+    } else {
+      // Phase 2 — slice cases into units. A grid case gets up to
+      // `budget` strided shards; a saturation search is one unit (its
+      // probes are inherently sequential). The auto budget spreads the
+      // pool across the runnable cases: many small cases -> one worker
+      // each, few big cases -> wide internal sharding.
+      const std::size_t budget =
+          schedule_.workers_per_case > 0
+              ? static_cast<std::size_t>(schedule_.workers_per_case)
+              : std::max<std::size_t>(1, pool.num_threads() / runnable);
+      std::vector<Unit> units;
+      for (std::size_t i = 0; i < total; ++i) {
+        if (states[i].skip) continue;
+        const SuiteCase& cs = suite.cases[i];
+        const Scenario& scenario = states[i].scenario;
+        const std::size_t shards =
+            cs.saturation ? 1 : std::min(budget, cs.loads.size());
+        if (!cs.saturation) {
+          states[i].record = prepare_sweep_record(
+              *scenario.setup, *scenario.routing, *scenario.pattern,
+              scenario.config, cs.loads.size(), scenario.label);
+          states[i].counters.resize(shards);
+        }
+        states[i].remaining.store(static_cast<int>(shards));
+        for (std::size_t s = 0; s < shards; ++s) units.push_back({i, s});
+      }
+
+      // Phase 3 — drain the unit queue on the pool. The queue is
+      // self-balancing (workers pop the next unit when free), so unit
+      // granularity — not submission order — bounds the tail.
+      std::atomic<std::size_t> next{0};
+      std::atomic<bool> abort{false};
+      std::mutex mutex;
+      std::condition_variable cv;
+      std::size_t workers_done = 0;
+      std::exception_ptr first_error;
+
+      const auto run_unit = [&](const Unit& unit) {
+        CaseState& st = states[unit.case_index];
+        const SuiteCase& cs = suite.cases[unit.case_index];
+        if (!st.started.exchange(true)) {
+          st.start = std::chrono::steady_clock::now();
+        }
+        if (cs.saturation) {
+          st.record = saturation_search(st.scenario, cs.sat_lo, cs.sat_hi,
+                                        cs.sat_tol, cs.sat_iters);
+        } else {
+          run_sweep_shard(*st.scenario.setup, *st.scenario.routing,
+                          *st.scenario.pattern, st.scenario.config, cs.loads,
+                          unit.shard, st.counters.size(), st.record.points,
+                          st.counters[unit.shard]);
+        }
+      };
+
+      const auto worker = [&] {
+        for (;;) {
+          const std::size_t u = next.fetch_add(1);
+          if (u >= units.size()) break;
+          if (!abort.load(std::memory_order_relaxed)) {
+            try {
+              run_unit(units[u]);
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(mutex);
+              if (!first_error) first_error = std::current_exception();
+              abort.store(true);
+            }
+          }
+          CaseState& st = states[units[u].case_index];
+          const bool last_unit = st.remaining.fetch_sub(1) == 1;
+          if (last_unit && !abort.load(std::memory_order_relaxed) &&
+              !suite.cases[units[u].case_index].saturation) {
+            // Grid case complete: fold the shard counters and the
+            // case's own wall-clock span (first unit start -> now).
+            SweepCounters merged;
+            for (const SweepCounters& c : st.counters) merged += c;
+            finish_sweep_record(
+                st.record, merged,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - st.start)
+                    .count());
+          }
+          std::lock_guard<std::mutex> lock(mutex);
+          if (last_unit) st.done = true;
+          cv.notify_all();
+        }
+        // Last action before exit, under the mutex: after the final
+        // worker bumps this, no thread touches the locals above again —
+        // the emitting thread may safely unwind them.
+        std::lock_guard<std::mutex> lock(mutex);
+        ++workers_done;
+        cv.notify_all();
+      };
+
+      const std::size_t dispatchers =
+          std::min(units.size(), pool.num_threads());
+      for (std::size_t t = 0; t < dispatchers; ++t) pool.submit(worker);
+
+      // Emit the completed prefix in case (document) order as it grows:
+      // ResultLog ordering and callback order are identical to the
+      // serial scheduler no matter how completion interleaves.
+      std::exception_ptr emit_error;
+      std::unique_lock<std::mutex> lock(mutex);
+      for (std::size_t i = 0; i < total; ++i) {
+        if (states[i].skip) continue;
+        cv.wait(lock, [&] {
+          return states[i].done || abort.load(std::memory_order_relaxed);
+        });
+        // On abort a case's `done` may come from skipped units, so its
+        // record would be partial: stop emitting altogether and report
+        // the error (serial semantics: the failing run yields no tail).
+        if (abort.load(std::memory_order_relaxed)) break;
+        RunRecord record = std::move(states[i].record);
+        lock.unlock();
+        try {
+          stamp_pattern_seed(suite.cases[i].spec, record);
+          log.add(std::move(record));
+          if (on_record) on_record(log.records().back(), i, total);
+        } catch (...) {
+          // A throwing sink/callback must not skip the drain barrier
+          // below — workers still reference this frame's locals.
+          emit_error = std::current_exception();
+          abort.store(true);
+          lock.lock();
+          break;
+        }
+        lock.lock();
+      }
+      // Every dispatcher must have exited before the locals above die
+      // (or an exception propagates) — in-flight workers reference them.
+      cv.wait(lock, [&] { return workers_done == dispatchers; });
+      if (emit_error) std::rethrow_exception(emit_error);
+      if (first_error) std::rethrow_exception(first_error);
     }
   } catch (...) {
     registry_.evict_damaged();

@@ -65,14 +65,39 @@ Suite parse_suite(const std::string& json_text);
 /// load + parse; errors are prefixed with the path.
 Suite load_suite(const std::string& path);
 
+/// How SuiteRunner schedules a suite's cases over the shared thread pool.
+///
+/// The default (parallel) scheduler runs independent cases concurrently:
+/// every case is sliced into work units — a grid sweep into up to
+/// `workers_per_case` strided shards, a saturation search into one unit
+/// (its probes are sequential by construction) — and the units of ALL
+/// cases drain through one self-balancing queue. Small cases no longer
+/// serialize behind big ones, and no single case can occupy more than
+/// its worker budget, so one long saturation search cannot starve the
+/// rest of the suite. Records stream into the ResultLog in document
+/// order regardless of completion order, with values bit-identical to a
+/// serial run (only the wall-clock perf fields differ — see
+/// docs/schemas.md).
+struct ScheduleOptions {
+  /// false restores the pre-scheduler behavior: cases run one after
+  /// another, each parallelizing internally across the whole pool.
+  bool parallel = true;
+  /// Max pool workers one grid case may occupy (its shard count).
+  /// 0 = auto: pool_threads / runnable_cases, at least 1 — many small
+  /// cases get pure case-parallelism, few big cases still split their
+  /// load grids.
+  int workers_per_case = 0;
+};
+
 /// Executes a suite through run_sweep / saturation_search, streaming
 /// records into `log`. `on_record` (optional) fires after each case with
-/// (record, case index, total cases) — the hook print/emit frontends use.
-/// Cases whose damaged graph no longer connects all terminals are
-/// skipped with a stderr note (their oracle has no route to offer);
-/// returns the number of cases skipped. Damaged-graph cache entries are
-/// shared across the run's cases and evicted from the registry when the
-/// run finishes.
+/// (record, case index, total cases) — the hook print/emit frontends use;
+/// it always fires in case order (the parallel scheduler emits the
+/// completed prefix as it grows). Cases whose damaged graph no longer
+/// connects all terminals are skipped with a stderr note (their oracle
+/// has no route to offer); returns the number of cases skipped.
+/// Damaged-graph cache entries are shared across the run's cases and
+/// evicted from the registry when the run finishes.
 class SuiteRunner {
  public:
   using Callback =
@@ -80,12 +105,15 @@ class SuiteRunner {
 
   explicit SuiteRunner(ScenarioRegistry& registry = ScenarioRegistry::shared())
       : registry_(registry) {}
+  SuiteRunner(ScenarioRegistry& registry, const ScheduleOptions& schedule)
+      : registry_(registry), schedule_(schedule) {}
 
   std::size_t run(const Suite& suite, ResultLog& log,
                   const Callback& on_record = {});
 
  private:
   ScenarioRegistry& registry_;
+  ScheduleOptions schedule_;
 };
 
 /// True when every endpoint-hosting router can reach every other one —

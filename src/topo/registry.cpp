@@ -160,6 +160,78 @@ TopologyInstance make_topology(const std::string& family,
   return inst;
 }
 
+std::string canonical_family(const std::string& family) {
+  if (family == "pf") return "polarfly";
+  if (family == "pfx") return "polarfly-exp";
+  if (family == "sf") return "slimfly";
+  if (family == "df") return "dragonfly";
+  if (family == "ft") return "fattree";
+  if (family == "jf") return "jellyfish";
+  if (family == "hs") return "hoffman-singleton";
+  return family;
+}
+
+TopologySpec parse_topology_spec(const std::string& spec) {
+  TopologySpec parsed;
+  const auto colon = spec.find(':');
+  parsed.family = canonical_family(
+      colon == std::string::npos ? spec : spec.substr(0, colon));
+  if (colon == std::string::npos) return parsed;
+
+  const std::string rest = spec.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    const auto comma = rest.find(',', pos);
+    const std::string item =
+        rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("topology spec '" + spec +
+                                  "': expected key=value, got '" + item +
+                                  "'");
+    }
+    try {
+      std::size_t used = 0;
+      const std::int64_t value = std::stoll(item.substr(eq + 1), &used);
+      if (used != item.size() - eq - 1) throw std::invalid_argument(item);
+      parsed.params[item.substr(0, eq)] = value;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("topology spec '" + spec +
+                                  "': parameter '" + item +
+                                  "' is not an integer");
+    }
+    pos = comma == std::string::npos ? rest.size() : comma + 1;
+  }
+  return parsed;
+}
+
+std::string canonical_spec(const TopologySpec& spec) {
+  // TopologyParams is a std::map, so iteration is already key-sorted.
+  std::string key = canonical_family(spec.family);
+  char sep = ':';
+  for (const auto& [k, v] : spec.params) {
+    key += sep;
+    key += k + "=" + std::to_string(v);
+    sep = ',';
+  }
+  return key;
+}
+
+std::int64_t extract_endpoints(TopologySpec& spec) {
+  const auto it = spec.params.find("p");
+  if (it == spec.params.end()) return -1;
+  const std::int64_t p = it->second;
+  if (canonical_family(spec.family) != "dragonfly") spec.params.erase(it);
+  return p;
+}
+
+TopologyInstance make_topology(const std::string& spec) {
+  TopologySpec parsed = parse_topology_spec(spec);
+  extract_endpoints(parsed);  // bare specs: p= is not structural
+  return make_topology(parsed.family, parsed.params);
+}
+
 std::string topology_usage() {
   return
       "  polarfly --q Q            ER_q, N=q^2+q+1, radix q+1, diameter 2\n"

@@ -41,11 +41,51 @@ struct TopologyInstance {
 /// unknown families, missing parameters, or infeasible sizes.
 ///
 /// Families (parameters): polarfly|pf (q), polarfly-exp|pfx
-/// (q, n [, quadric]), slimfly|sf (q), dragonfly (a, h, p), fattree
-/// (levels, arity), jellyfish (n, k [, seed]), hyperx (a [, b]), torus
+/// (q, n [, quadric]), slimfly|sf (q), dragonfly|df (a, h, p), fattree|ft
+/// (levels, arity), jellyfish|jf (n, k [, seed]), hyperx (a [, b]), torus
 /// (k, d), hypercube (d), brown (q), petersen, hoffman-singleton.
 TopologyInstance make_topology(const std::string& family,
                                const TopologyParams& params);
+
+// ---- topology spec strings ----------------------------------------------
+//
+// A *spec* names a fully parameterized topology in one string:
+// "family:key=value,key=value" (or a bare "family" for parameterless
+// families), e.g. "pf:q=13,p=7" or "dragonfly:a=6,h=3,p=3". Specs are the
+// lingua franca of the scenario/suite layer and of `pf_topo --topology` —
+// one syntax for every CLI surface and every suites/*.json file.
+
+/// A parsed spec: canonical family name plus its integer parameters.
+struct TopologySpec {
+  std::string family;
+  TopologyParams params;
+};
+
+/// Resolves the short family aliases (pf, pfx, sf, df, ft, jf, hs) to
+/// their canonical names; canonical and unknown names pass through.
+std::string canonical_family(const std::string& family);
+
+/// Parses "family" or "family:key=value,...". Parameter values must be
+/// integers. Throws std::invalid_argument naming the offending spec and
+/// item; does not validate the family or parameter names (make_topology
+/// does, so unknown families fail with the full families list).
+TopologySpec parse_topology_spec(const std::string& spec);
+
+/// The canonical identity string of a spec: canonical family plus its
+/// parameters in sorted key order — equal strings iff equal topologies.
+/// (The scenario registry's cache key.)
+std::string canonical_spec(const TopologySpec& spec);
+
+/// Removes the spec's `p=` parameter — endpoints per router, the
+/// scenario/suite meaning — and returns it (-1 when unset), leaving the
+/// structural parameters behind for make_topology. Dragonfly keeps `p`
+/// in place: there it is structural AND the endpoint count. The one
+/// place this convention lives; pf_topo, pf_sim and the scenario
+/// registry all go through it.
+std::int64_t extract_endpoints(TopologySpec& spec);
+
+/// Parse-and-construct convenience over parse_topology_spec.
+TopologyInstance make_topology(const std::string& spec);
 
 /// One line per family: name, parameters, description.
 std::string topology_usage();

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -47,9 +48,18 @@ class ThreadPool {
     wake_.notify_one();
   }
 
-  /// The process-wide pool, created on first use.
+  /// The process-wide pool, created on first use. PF_THREADS=N overrides
+  /// the hardware-concurrency default — pin it to benchmark scheduler
+  /// widths or to keep a shared box polite.
   static ThreadPool& shared() {
-    static ThreadPool pool;
+    static ThreadPool pool([] {
+      const char* env = std::getenv("PF_THREADS");
+      if (env != nullptr) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0) return static_cast<unsigned>(n);
+      }
+      return std::thread::hardware_concurrency();
+    }());
     return pool;
   }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/polarfly.hpp"
+#include "exp/diff.hpp"
 #include "exp/engine.hpp"
 #include "exp/results.hpp"
 #include "exp/scenario.hpp"
@@ -449,6 +450,92 @@ TEST(SuiteRunner, SkipsDisconnectedDamage) {
   exp::ResultLog log;
   EXPECT_EQ(runner.run(exp::parse_suite(doc), log), 1u);
   EXPECT_TRUE(log.records().empty());
+}
+
+TEST(SuiteRunner, ParallelSchedulerIsBitIdenticalToSerial) {
+  // The case scheduler's core guarantee: however cases are sliced into
+  // units and interleaved on the pool, the ResultLog is bit-identical to
+  // the serial runner — same order, same values. Only wall_seconds /
+  // cycles_per_sec may differ, and the diff comparator excludes exactly
+  // those, so a zero-tolerance diff is the right equality check.
+  const exp::Suite suite = exp::load_suite(std::string(PF_SUITE_DIR) +
+                                           "/smoke.json");
+
+  exp::ScheduleOptions serial;
+  serial.parallel = false;
+  exp::ResultLog serial_log;
+  exp::SuiteRunner(exp::ScenarioRegistry::shared(), serial)
+      .run(suite, serial_log);
+  ASSERT_EQ(serial_log.records().size(), suite.cases.size());
+
+  exp::DiffOptions exact;
+  exact.rtol = 0.0;
+  exact.atol = 0.0;
+  for (const int workers_per_case : {0, 1, 2}) {
+    exp::ScheduleOptions parallel;
+    parallel.workers_per_case = workers_per_case;
+    exp::ResultLog log;
+    std::vector<std::size_t> callback_order;
+    exp::SuiteRunner(exp::ScenarioRegistry::shared(), parallel)
+        .run(suite, log,
+             [&callback_order, &suite](const exp::RunRecord&,
+                                       std::size_t index,
+                                       std::size_t total) {
+               EXPECT_EQ(total, suite.cases.size());
+               callback_order.push_back(index);
+             });
+    // Callbacks fire in document order even when completion interleaves.
+    ASSERT_EQ(callback_order.size(), suite.cases.size());
+    for (std::size_t i = 0; i < callback_order.size(); ++i) {
+      EXPECT_EQ(callback_order[i], i);
+    }
+
+    exp::RunDocument serial_doc, parallel_doc;
+    serial_doc.records = serial_log.records();
+    parallel_doc.records = log.records();
+    const exp::DiffReport report =
+        exp::diff_documents(serial_doc, parallel_doc, exact);
+    EXPECT_TRUE(report.clean())
+        << "workers_per_case=" << workers_per_case << ": "
+        << (report.drifts.empty() ? "record set mismatch"
+                                  : report.drifts[0].field);
+    // Labels and order, belt and braces on top of the key matching.
+    for (std::size_t i = 0; i < log.records().size(); ++i) {
+      EXPECT_EQ(log.records()[i].label, serial_log.records()[i].label);
+      EXPECT_EQ(log.records()[i].seed, serial_log.records()[i].seed);
+      EXPECT_EQ(log.records()[i].pattern_seed,
+                serial_log.records()[i].pattern_seed);
+    }
+  }
+}
+
+TEST(SuiteRunner, ParallelSchedulerSkipsAndKeepsOrder) {
+  // Case 1 strands router 0's endpoints (skip); cases 0 and 2 run. The
+  // parallel scheduler must keep document order and report one skip.
+  const core::PolarFly pf(5);
+  std::string links;
+  for (const std::int32_t u : pf.graph().neighbors(0)) {
+    if (!links.empty()) links += ", ";
+    links += "[0, " + std::to_string(u) + "]";
+  }
+  const std::string doc =
+      "{\"schema\": \"polarfly-suite/1\", \"scenarios\": ["
+      "{\"name\": \"first\", \"topology\": \"pf:q=5,p=3\","
+      " \"loads\": [0.2],"
+      " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200}},"
+      "{\"name\": \"stranded\", \"topology\": \"pf:q=5,p=3\","
+      " \"loads\": [0.2],"
+      " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200},"
+      " \"failures\": [{\"links\": [" + links + "]}]},"
+      "{\"name\": \"last\", \"topology\": \"pf:q=5,p=3\","
+      " \"loads\": [0.2, 0.4],"
+      " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200}}]}";
+  exp::ResultLog log;
+  exp::SuiteRunner runner;  // default: parallel scheduler
+  EXPECT_EQ(runner.run(exp::parse_suite(doc), log), 1u);
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].label, "first");
+  EXPECT_EQ(log.records()[1].label, "last");
 }
 
 TEST(Results, RecordKeyIsStableAcrossReruns) {
