@@ -11,9 +11,10 @@
 //   pf_sim ... --saturation-search [--sat-lo 0.05] [--sat-hi 1.0]
 //          [--sat-tol 0.02] [--sat-iters 10]
 //   pf_sim suite <file.json> [--json PATH|-] [--quiet] [--serial]
-//          [--case-workers N]
+//          [--case-workers N] [--checkpoint PATH [--resume]]
 //   pf_sim keys <records.json>
 //   pf_sim diff <baseline.json> <candidate.json> [--rtol R] [--atol A]
+//          [--junit PATH]
 //
 // Patterns: uniform | tornado | randperm | perm1hop | perm2hop | bitcomp
 // Routing:  MIN | VAL | CVAL | UGAL | UGALPF | NCA (fat tree) | ALG (PF)
@@ -45,14 +46,20 @@ namespace {
 void usage_suite(std::FILE* f) {
   std::fputs(
       "usage: pf_sim suite <file.json> [--json PATH|-] [--quiet]\n"
-      "       [--serial] [--case-workers N]\n"
+      "       [--serial] [--case-workers N] [--checkpoint PATH "
+      "[--resume]]\n"
       "  run a polarfly-suite/1 scenario suite end-to-end\n"
       "  (docs/suite-format.md documents the file format)\n"
       "  --json PATH|-    emit the runs as one polarfly-run/1 document\n"
       "  --quiet          progress lines on stderr instead of tables\n"
       "  --serial         run cases one at a time (default: the case\n"
       "                   scheduler runs independent cases concurrently)\n"
-      "  --case-workers N max pool workers one case may occupy\n",
+      "  --case-workers N max pool workers one case may occupy\n"
+      "  --checkpoint PATH  stream each finished record to a journal\n"
+      "                   (one JSON record per line) as the run progresses\n"
+      "  --resume         skip cases already present in the --checkpoint\n"
+      "                   journal; the final document is bit-identical to\n"
+      "                   an uninterrupted run\n",
       f);
 }
 
@@ -67,11 +74,12 @@ void usage_keys(std::FILE* f) {
 void usage_diff(std::FILE* f) {
   std::fputs(
       "usage: pf_sim diff <baseline.json> <candidate.json> "
-      "[--rtol R] [--atol A]\n"
+      "[--rtol R] [--atol A] [--junit PATH]\n"
       "  compare two polarfly-run/1 documents record by record with\n"
       "  tolerance-aware trajectory comparison (see docs/schemas.md);\n"
       "  values match when |a-b| <= atol + rtol*max(|a|,|b|)\n"
       "  (defaults: rtol 1e-9, atol 1e-12)\n"
+      "  --junit PATH     also write the report as JUnit XML for CI\n"
       "  exit 0: match, 1: drift/missing records, 2: bad invocation\n",
       f);
 }
@@ -206,9 +214,54 @@ int run_suite(const util::CliArgs& args) {
   schedule.parallel = !args.has("serial");
   schedule.workers_per_case =
       static_cast<int>(args.integer_or("case-workers", 0));
+
+  const std::string checkpoint = args.str_or("checkpoint", "");
+  const bool resume = args.has("resume");
+  if (resume && checkpoint.empty()) {
+    std::fprintf(stderr,
+                 "pf_sim suite: --resume requires --checkpoint PATH\n");
+    usage_suite(stderr);
+    return 2;
+  }
   // Every legitimate option is queried by now; reject typos BEFORE the
   // run — a silently dropped --json on a multi-hour suite is wasted work.
   if (reject_stray_arguments(args, "suite")) return 2;
+
+  // Resume loads the journal BEFORE the truncation below; a missing
+  // journal just means nothing completed yet.
+  std::vector<exp::RunRecord> journal;
+  if (resume) {
+    std::string probe;
+    if (!util::read_text_file(checkpoint, probe)) {
+      std::fprintf(stderr,
+                   "pf_sim suite: checkpoint '%s' not found — starting "
+                   "fresh\n",
+                   checkpoint.c_str());
+    } else {
+      try {
+        journal = exp::load_checkpoint(checkpoint);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "pf_sim suite: %s\n", e.what());
+        return 2;
+      }
+      std::fprintf(stderr, "pf_sim suite: checkpoint holds %zu record(s)\n",
+                   journal.size());
+    }
+    schedule.resume = &journal;
+  }
+  if (!checkpoint.empty()) {
+    // The journal restarts from scratch every run: resumed records are
+    // re-appended in document order as they are emitted, so the file is
+    // always a valid prefix of the final document's records — even if
+    // THIS run is killed too.
+    std::FILE* truncate = std::fopen(checkpoint.c_str(), "w");
+    if (truncate == nullptr) {
+      std::fprintf(stderr, "pf_sim suite: cannot write checkpoint '%s'\n",
+                   checkpoint.c_str());
+      return 2;
+    }
+    std::fclose(truncate);
+  }
 
   exp::ResultLog log;
   exp::SuiteRunner runner(exp::ScenarioRegistry::shared(), schedule);
@@ -216,13 +269,25 @@ int run_suite(const util::CliArgs& args) {
   try {
     skipped = runner.run(
         suite, log,
-        [quiet](const exp::RunRecord& record, std::size_t index,
-                std::size_t total) {
+        [quiet, &checkpoint](const exp::RunRecord& record,
+                             std::size_t index, std::size_t total) {
+          if (!checkpoint.empty() &&
+              !exp::append_checkpoint(checkpoint, record)) {
+            std::fprintf(stderr,
+                         "pf_sim suite: cannot append to checkpoint "
+                         "'%s'\n",
+                         checkpoint.c_str());
+          }
+          const std::string note =
+              record.status.empty() ? "" : " [" + record.status + "]";
           if (quiet) {
-            std::fprintf(stderr, "  [%zu/%zu] %s\n", index + 1, total,
-                         record.label.c_str());
+            std::fprintf(stderr, "  [%zu/%zu] %s%s\n", index + 1, total,
+                         record.label.c_str(), note.c_str());
           } else {
             exp::print_run(record);
+            if (!note.empty()) {
+              std::printf("status:%s\n", note.c_str());
+            }
           }
         });
   } catch (const std::invalid_argument& e) {
@@ -262,6 +327,7 @@ int run_diff(const util::CliArgs& args) {
   exp::DiffOptions options;
   options.rtol = args.real_or("rtol", options.rtol);
   options.atol = args.real_or("atol", options.atol);
+  const std::string junit_path = args.str_or("junit", "");
   if (reject_stray_arguments(args, "diff")) return 2;
 
   const exp::RunDocument baseline =
@@ -270,6 +336,12 @@ int run_diff(const util::CliArgs& args) {
       load_run_document(candidate_path, "diff", usage_diff);
   const exp::DiffReport report =
       exp::diff_documents(baseline, candidate, options);
+  if (!junit_path.empty() &&
+      !util::write_text_file(junit_path, exp::junit_report(report))) {
+    std::fprintf(stderr, "pf_sim diff: cannot write '%s'\n",
+                 junit_path.c_str());
+    return 2;
+  }
   return exp::print_diff_report(report, stdout) ? 0 : 1;
 }
 

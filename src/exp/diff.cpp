@@ -29,6 +29,20 @@ class RecordComparator {
     report_.drifts.push_back(std::move(drift));
   }
 
+  /// Exact comparison for text fields (record status and the like).
+  void text(const std::string& field, const std::string& baseline,
+            const std::string& candidate) {
+    ++report_.values_compared;
+    if (baseline == candidate) return;
+    FieldDrift drift;
+    drift.key = key_;
+    drift.field = field;
+    drift.baseline_text = baseline;
+    drift.candidate_text = candidate;
+    drift.is_text = true;
+    report_.drifts.push_back(std::move(drift));
+  }
+
   /// Exact comparison for counts, cycles and booleans-as-integers —
   /// tolerance never applies to discrete fields.
   void exact(const std::string& field, std::int64_t baseline,
@@ -60,6 +74,12 @@ void compare_records(const RunRecord& baseline, const RunRecord& candidate,
   cmp.exact("routers", baseline.routers, candidate.routers);
   cmp.exact("terminals", baseline.terminals, candidate.terminals);
 
+  // Status is compared only when at least one side carries one, so legacy
+  // documents keep their historical values_compared counts.
+  if (!baseline.status.empty() || !candidate.status.empty()) {
+    cmp.text("status", baseline.status, candidate.status);
+  }
+
   // Trajectory: the per-load-point measurements. A point-count mismatch
   // (possible for saturation searches, whose keys carry no grid) is one
   // drift plus a comparison of the common prefix; a mismatched load axis
@@ -82,6 +102,33 @@ void compare_records(const RunRecord& baseline, const RunRecord& candidate,
     cmp.metric(at + "mean_hops", b.mean_hops, c.mean_hops);
     cmp.exact(at + "cycles", b.cycles, c.cycles);
     cmp.exact(at + "converged", b.converged ? 1 : 0, c.converged ? 1 : 0);
+    // Robustness fields follow the same only-when-present rule as status.
+    if (b.stalled || c.stalled) {
+      cmp.exact(at + "stalled", b.stalled ? 1 : 0, c.stalled ? 1 : 0);
+    }
+    if (b.has_degradation || c.has_degradation) {
+      cmp.exact(at + "degradation.present", b.has_degradation ? 1 : 0,
+                c.has_degradation ? 1 : 0);
+      cmp.exact(at + "degradation.dropped", b.dropped, c.dropped);
+      cmp.exact(at + "degradation.reinjected", b.reinjected, c.reinjected);
+      cmp.exact(at + "degradation.rerouted", b.rerouted, c.rerouted);
+      cmp.exact(at + "degradation.unreachable_dropped",
+                b.unreachable_dropped, c.unreachable_dropped);
+      cmp.exact(at + "degradation.unreachable_pairs", b.unreachable_pairs,
+                c.unreachable_pairs);
+      if (b.reconvergence.size() != c.reconvergence.size()) {
+        cmp.exact(at + "degradation.reconvergence.count",
+                  static_cast<std::int64_t>(b.reconvergence.size()),
+                  static_cast<std::int64_t>(c.reconvergence.size()));
+      }
+      const std::size_t events =
+          std::min(b.reconvergence.size(), c.reconvergence.size());
+      for (std::size_t e = 0; e < events; ++e) {
+        cmp.exact(at + "degradation.reconvergence[" + std::to_string(e) +
+                      "]",
+                  b.reconvergence[e], c.reconvergence[e]);
+      }
+    }
   }
 
   cmp.metric("saturation_estimate", baseline.saturation_estimate,
@@ -136,6 +183,7 @@ DiffReport diff_documents(const RunDocument& baseline,
     const std::size_t index = it->second[used++];
     matched[index] = 1;
     ++report.records_matched;
+    report.matched_keys.push_back(key);
     compare_records(record, candidate.records[index], key, options, report);
   }
   for (std::size_t i = 0; i < candidate.records.size(); ++i) {
@@ -154,6 +202,15 @@ bool print_diff_report(const DiffReport& report, std::FILE* out) {
     std::fprintf(out, "only in candidate: %s\n", key.c_str());
   }
   for (const auto& drift : report.drifts) {
+    if (drift.is_text) {
+      std::fprintf(out,
+                   "drift: %s\n"
+                   "       %s: baseline '%s' vs candidate '%s'\n",
+                   drift.key.c_str(), drift.field.c_str(),
+                   drift.baseline_text.c_str(),
+                   drift.candidate_text.c_str());
+      continue;
+    }
     std::fprintf(out,
                  "drift: %s\n"
                  "       %s: baseline %.17g vs candidate %.17g "
@@ -176,6 +233,95 @@ bool print_diff_report(const DiffReport& report, std::FILE* out) {
                  report.values_compared);
   }
   return report.clean();
+}
+
+namespace {
+
+/// The five XML metacharacters, escaped for both text and attributes.
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string describe_drift(const FieldDrift& drift) {
+  if (drift.is_text) {
+    return drift.field + ": baseline '" + drift.baseline_text +
+           "' vs candidate '" + drift.candidate_text + "'";
+  }
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "%s: baseline %.17g vs candidate %.17g (abs %.3g, rel "
+                "%.3g)",
+                drift.field.c_str(), drift.baseline, drift.candidate,
+                drift.abs_err, drift.rel_err);
+  return line;
+}
+
+}  // namespace
+
+std::string junit_report(const DiffReport& report) {
+  // Drifts grouped by record key so each matched record is one testcase
+  // with all of its drifted fields in one <failure> body.
+  std::map<std::string, std::vector<const FieldDrift*>> by_key;
+  for (const FieldDrift& drift : report.drifts) {
+    by_key[drift.key].push_back(&drift);
+  }
+
+  const std::size_t tests = report.matched_keys.size() +
+                            report.only_in_baseline.size() +
+                            report.only_in_candidate.size();
+  std::size_t failures =
+      report.only_in_baseline.size() + report.only_in_candidate.size();
+  for (const std::string& key : report.matched_keys) {
+    if (by_key.count(key) != 0) ++failures;
+  }
+
+  std::string xml = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  xml += "<testsuite name=\"pf_sim diff\" tests=\"" +
+         std::to_string(tests) + "\" failures=\"" +
+         std::to_string(failures) + "\">\n";
+  const auto open_case = [&](const std::string& key) {
+    xml += "  <testcase classname=\"pf_sim.diff\" name=\"" +
+           xml_escape(key) + "\"";
+  };
+  for (const std::string& key : report.matched_keys) {
+    open_case(key);
+    const auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      xml += "/>\n";
+      continue;
+    }
+    xml += ">\n    <failure message=\"" +
+           std::to_string(it->second.size()) +
+           " value(s) beyond tolerance\">";
+    for (const FieldDrift* drift : it->second) {
+      xml += "\n" + xml_escape(describe_drift(*drift));
+    }
+    xml += "\n    </failure>\n  </testcase>\n";
+  }
+  for (const std::string& key : report.only_in_baseline) {
+    open_case(key);
+    xml += ">\n    <failure message=\"record only in baseline\"/>\n"
+           "  </testcase>\n";
+  }
+  for (const std::string& key : report.only_in_candidate) {
+    open_case(key);
+    xml += ">\n    <failure message=\"record only in candidate\"/>\n"
+           "  </testcase>\n";
+  }
+  xml += "</testsuite>\n";
+  return xml;
 }
 
 }  // namespace pf::exp

@@ -34,12 +34,18 @@ struct FieldDrift {
   double candidate = 0.0;
   double abs_err = 0.0;  ///< |baseline - candidate| (NaN-vs-number: NaN)
   double rel_err = 0.0;  ///< abs_err / max(|baseline|, |candidate|)
+  /// Set for text fields (e.g. "status"); the numeric fields above stay
+  /// zero and reports print the texts instead.
+  std::string baseline_text;
+  std::string candidate_text;
+  bool is_text = false;
 };
 
 struct DiffReport {
   std::vector<std::string> only_in_baseline;   ///< unmatched record keys
   std::vector<std::string> only_in_candidate;  ///< in candidate order
   std::vector<FieldDrift> drifts;              ///< in baseline order
+  std::vector<std::string> matched_keys;       ///< in baseline order
   std::size_t records_matched = 0;
   std::size_t values_compared = 0;
 
@@ -63,5 +69,10 @@ DiffReport diff_documents(const RunDocument& baseline,
 /// Human-readable report — one line per missing record and per drifted
 /// value, plus a summary line. Returns report.clean().
 bool print_diff_report(const DiffReport& report, std::FILE* out);
+
+/// The report as a JUnit XML document (one <testcase> per matched record
+/// key, a failing one per missing record; drifts become <failure>
+/// elements) so CI dashboards can surface pf_sim diff results natively.
+std::string junit_report(const DiffReport& report);
 
 }  // namespace pf::exp

@@ -21,6 +21,17 @@ RunPoint run_point(sim::Network& net, std::int64_t& hops,
   point.converged = net.converged();
   point.mean_hops = net.mean_hops();
   point.cycles = net.current_cycle();
+  point.stalled = net.stalled();
+  if (net.has_faults()) {
+    const sim::DegradationStats& d = net.degradation();
+    point.has_degradation = true;
+    point.dropped = d.dropped;
+    point.reinjected = d.reinjected;
+    point.rerouted = d.rerouted;
+    point.unreachable_dropped = d.unreachable_dropped;
+    point.unreachable_pairs = net.unreachable_pairs();
+    point.reconvergence = d.reconvergence;
+  }
   hops += net.measured_hops();
   delivered += net.delivered_packets();
   peak_vc = std::max(peak_vc, net.peak_vc_packets());
@@ -53,11 +64,21 @@ void run_sweep_shard(const NetSetup& setup,
                      const sim::SimConfig& config,
                      const std::vector<double>& loads, std::size_t offset,
                      std::size_t stride, std::vector<RunPoint>& points,
-                     SweepCounters& counters) {
+                     SweepCounters& counters, double timeout_seconds) {
   if (offset >= loads.size()) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(timeout_seconds);
   sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
                    loads[offset]);
   for (std::size_t i = offset; i < loads.size(); i += stride) {
+    // The first owned point always runs (progress guarantee); later
+    // points are abandoned once the per-case budget is spent.
+    if (i != offset && timeout_seconds > 0.0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      counters.timed_out = true;
+      return;
+    }
     if (i != offset) net.reset(loads[i]);
     points[i] =
         run_point(net, counters.hops, counters.delivered, counters.peak_vc);
@@ -80,6 +101,18 @@ void finish_sweep_record(RunRecord& record, const SweepCounters& counters,
                 static_cast<double>(counters.delivered)
           : 0.0;
   record.perf.peak_vc_occupancy = counters.peak_vc;
+  if (record.status.empty()) {
+    if (counters.timed_out) {
+      record.status = "timeout";
+    } else {
+      for (const auto& point : record.points) {
+        if (point.stalled) {
+          record.status = "stalled";
+          break;
+        }
+      }
+    }
+  }
 }
 
 double RunRecord::saturation() const {
@@ -93,7 +126,7 @@ RunRecord run_sweep(const NetSetup& setup,
                     const sim::TrafficPattern& pattern,
                     const sim::SimConfig& config,
                     const std::vector<double>& loads,
-                    const std::string& label) {
+                    const std::string& label, double timeout_seconds) {
   RunRecord record = prepare_sweep_record(setup, routing, pattern, config,
                                           loads.size(), label);
 
@@ -108,7 +141,7 @@ RunRecord run_sweep(const NetSetup& setup,
   const auto start = std::chrono::steady_clock::now();
   util::parallel_for(0, workers, [&](std::size_t w) {
     run_sweep_shard(setup, routing, pattern, config, loads, w, workers,
-                    record.points, counters[w]);
+                    record.points, counters[w], timeout_seconds);
   });
   const auto stop = std::chrono::steady_clock::now();
 
@@ -120,9 +153,10 @@ RunRecord run_sweep(const NetSetup& setup,
 }
 
 RunRecord run_sweep(const Scenario& scenario,
-                    const std::vector<double>& loads) {
+                    const std::vector<double>& loads,
+                    double timeout_seconds) {
   return run_sweep(*scenario.setup, *scenario.routing, *scenario.pattern,
-                   scenario.config, loads, scenario.label);
+                   scenario.config, loads, scenario.label, timeout_seconds);
 }
 
 RunRecord saturation_search(const NetSetup& setup,
@@ -130,12 +164,24 @@ RunRecord saturation_search(const NetSetup& setup,
                             const sim::TrafficPattern& pattern,
                             const sim::SimConfig& config,
                             const std::string& label, double lo, double hi,
-                            double tol, int max_iters) {
+                            double tol, int max_iters,
+                            double timeout_seconds) {
   RunRecord record =
       prepare_sweep_record(setup, routing, pattern, config, 0, label);
   SweepCounters counters;
 
   const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(timeout_seconds));
+  const auto expired = [&] {
+    if (timeout_seconds <= 0.0 ||
+        std::chrono::steady_clock::now() < deadline) {
+      return false;
+    }
+    counters.timed_out = true;
+    return true;
+  };
   sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
                    hi);
   // By value: points reallocates as probes accumulate, so references
@@ -155,6 +201,9 @@ RunRecord saturation_search(const NetSetup& setup,
   const RunPoint top = probe(hi);
   if (stable(top)) {
     record.saturation_estimate = top.accepted;
+  } else if (expired()) {
+    // Budget spent after one probe: report the best reading we have.
+    record.saturation_estimate = top.accepted;
   } else {
     const RunPoint bottom = probe(lo);
     if (!stable(bottom)) {
@@ -162,7 +211,9 @@ RunRecord saturation_search(const NetSetup& setup,
     } else {
       double stable_lo = lo, unstable_hi = hi;
       double plateau = bottom.accepted;
-      for (int i = 0; i < max_iters && unstable_hi - stable_lo > tol; ++i) {
+      for (int i = 0; i < max_iters && unstable_hi - stable_lo > tol &&
+                      !expired();
+           ++i) {
         const double mid = 0.5 * (stable_lo + unstable_hi);
         const RunPoint point = probe(mid);
         if (stable(point)) {
@@ -186,10 +237,12 @@ RunRecord saturation_search(const NetSetup& setup,
 }
 
 RunRecord saturation_search(const Scenario& scenario, double lo, double hi,
-                            double tol, int max_iters) {
+                            double tol, int max_iters,
+                            double timeout_seconds) {
   return saturation_search(*scenario.setup, *scenario.routing,
                            *scenario.pattern, scenario.config,
-                           scenario.label, lo, hi, tol, max_iters);
+                           scenario.label, lo, hi, tol, max_iters,
+                           timeout_seconds);
 }
 
 }  // namespace pf::exp

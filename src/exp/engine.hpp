@@ -26,6 +26,18 @@ struct RunPoint {
   bool converged = false;
   double mean_hops = 0.0;     ///< mean hop count of delivered packets
   std::int64_t cycles = 0;    ///< simulated cycles for this point
+  /// The progress watchdog terminated this point early.
+  bool stalled = false;
+  /// Degradation accounting, valid (and serialized) only when the point
+  /// ran under a fault timeline.
+  bool has_degradation = false;
+  std::int64_t dropped = 0;
+  std::int64_t reinjected = 0;
+  std::int64_t rerouted = 0;
+  std::int64_t unreachable_dropped = 0;
+  std::int64_t unreachable_pairs = 0;
+  /// Per down-event reconvergence time in cycles (-1 = never recovered).
+  std::vector<std::int64_t> reconvergence;
 };
 
 /// Aggregate performance counters for one record.
@@ -54,6 +66,10 @@ struct RunRecord {
   /// Set by saturation_search: bisected accepted-load plateau (0 when the
   /// record came from a fixed grid; use saturation() there).
   double saturation_estimate = 0.0;
+  /// "" for a normal run; otherwise why the case did not fully run:
+  /// "skipped-disconnected" (static damage stranded endpoints), "timeout"
+  /// (per-case budget expired), or "stalled" (a point hit the watchdog).
+  std::string status;
 
   /// Largest accepted load over the points (accepted plateaus once
   /// offered load passes saturation).
@@ -74,11 +90,13 @@ struct SweepCounters {
   std::int64_t hops = 0;       ///< measured hops, summed over points
   std::int64_t delivered = 0;  ///< delivered packets, summed over points
   int peak_vc = 0;             ///< deepest single VC ring seen
+  bool timed_out = false;      ///< a shard abandoned points on its deadline
 
   SweepCounters& operator+=(const SweepCounters& other) {
     hops += other.hops;
     delivered += other.delivered;
     peak_vc = peak_vc > other.peak_vc ? peak_vc : other.peak_vc;
+    timed_out = timed_out || other.timed_out;
     return *this;
   }
 };
@@ -96,16 +114,21 @@ RunRecord prepare_sweep_record(const NetSetup& setup,
 /// the calling thread, reusing ONE Network via reset() across its points.
 /// Writes points[i] for exactly the indices it owns (points must already
 /// have loads.size() entries) and folds this shard's perf counters.
+/// `timeout_seconds` > 0 bounds the shard's wall time approximately: the
+/// first owned point always runs, later points are abandoned (left at
+/// their zero defaults) once the deadline passes and counters.timed_out
+/// is raised.
 void run_sweep_shard(const NetSetup& setup,
                      const sim::RoutingAlgorithm& routing,
                      const sim::TrafficPattern& pattern,
                      const sim::SimConfig& config,
                      const std::vector<double>& loads, std::size_t offset,
                      std::size_t stride, std::vector<RunPoint>& points,
-                     SweepCounters& counters);
+                     SweepCounters& counters, double timeout_seconds = 0.0);
 
 /// Folds the merged counters and the measured wall time into record.perf
-/// (sim_cycles is summed from the record's points).
+/// (sim_cycles is summed from the record's points) and stamps
+/// record.status from counters.timed_out / stalled points.
 void finish_sweep_record(RunRecord& record, const SweepCounters& counters,
                          double wall_seconds);
 
@@ -116,10 +139,11 @@ RunRecord run_sweep(const NetSetup& setup,
                     const sim::TrafficPattern& pattern,
                     const sim::SimConfig& config,
                     const std::vector<double>& loads,
-                    const std::string& label);
+                    const std::string& label, double timeout_seconds = 0.0);
 
 RunRecord run_sweep(const Scenario& scenario,
-                    const std::vector<double>& loads);
+                    const std::vector<double>& loads,
+                    double timeout_seconds = 0.0);
 
 /// Adaptive saturation search: bisection on the accepted-load plateau.
 /// A load is "stable" while accepted tracks offered within `tol`; the
@@ -133,10 +157,11 @@ RunRecord saturation_search(const NetSetup& setup,
                             const sim::SimConfig& config,
                             const std::string& label, double lo = 0.05,
                             double hi = 1.0, double tol = 0.02,
-                            int max_iters = 10);
+                            int max_iters = 10,
+                            double timeout_seconds = 0.0);
 
 RunRecord saturation_search(const Scenario& scenario, double lo = 0.05,
                             double hi = 1.0, double tol = 0.02,
-                            int max_iters = 10);
+                            int max_iters = 10, double timeout_seconds = 0.0);
 
 }  // namespace pf::exp

@@ -56,6 +56,7 @@ void append_record_json(util::JsonWriter& json, const RunRecord& record) {
     json.key("pattern_seed")
         .value(static_cast<std::uint64_t>(record.pattern_seed));
   }
+  if (!record.status.empty()) json.key("status").value(record.status);
   json.key("saturation").value(record.saturation());
   if (record.saturation_estimate > 0.0) {
     json.key("saturation_estimate").value(record.saturation_estimate);
@@ -70,6 +71,21 @@ void append_record_json(util::JsonWriter& json, const RunRecord& record) {
     json.key("converged").value(point.converged);
     json.key("mean_hops").value(point.mean_hops);
     json.key("cycles").value(point.cycles);
+    if (point.stalled) json.key("stalled").value(true);
+    if (point.has_degradation) {
+      json.key("degradation").begin_object();
+      json.key("dropped").value(point.dropped);
+      json.key("reinjected").value(point.reinjected);
+      json.key("rerouted").value(point.rerouted);
+      json.key("unreachable_dropped").value(point.unreachable_dropped);
+      json.key("unreachable_pairs").value(point.unreachable_pairs);
+      json.key("reconvergence").begin_array();
+      for (const std::int64_t cycles : point.reconvergence) {
+        json.value(cycles);
+      }
+      json.end_array();
+      json.end_object();
+    }
     json.end_object();
   }
   json.end_array();
@@ -120,56 +136,136 @@ RunDocument parse_run_document(const util::JsonValue& root) {
   }
   doc.tool = root.at("tool").as_string();
   for (const auto& r : root.at("records").items()) {
-    RunRecord record;
-    for (const auto& [key, value] : r.members()) {
-      if (key == "label") record.label = value.as_string();
-      else if (key == "topology") record.topology = value.as_string();
-      else if (key == "routing") record.routing = value.as_string();
-      else if (key == "pattern") record.pattern = value.as_string();
-      else if (key == "routers") record.routers = static_cast<int>(value.as_int());
-      else if (key == "terminals") record.terminals = static_cast<int>(value.as_int());
-      else if (key == "seed") record.seed = value.as_uint();
-      else if (key == "pattern_seed") record.pattern_seed = value.as_uint();
-      else if (key == "saturation") {
-        // Derived from the points; nothing to restore.
-      } else if (key == "saturation_estimate") {
-        record.saturation_estimate = as_metric(value);
-      } else if (key == "points") {
-        for (const auto& p : value.items()) {
-          RunPoint point;
-          for (const auto& [pkey, pvalue] : p.members()) {
-            if (pkey == "offered") point.offered = as_metric(pvalue);
-            else if (pkey == "accepted") point.accepted = as_metric(pvalue);
-            else if (pkey == "avg_latency") point.avg_latency = as_metric(pvalue);
-            else if (pkey == "p99_latency") point.p99_latency = as_metric(pvalue);
-            else if (pkey == "converged") point.converged = pvalue.as_bool();
-            else if (pkey == "mean_hops") point.mean_hops = as_metric(pvalue);
-            else if (pkey == "cycles") point.cycles = pvalue.as_int();
-            else {
-              throw std::invalid_argument("unknown point key '" + pkey + "'");
-            }
-          }
-          record.points.push_back(point);
-        }
-      } else if (key == "perf") {
-        for (const auto& [pkey, pvalue] : value.members()) {
-          if (pkey == "sim_cycles") record.perf.sim_cycles = pvalue.as_int();
-          else if (pkey == "wall_seconds") record.perf.wall_seconds = as_metric(pvalue);
-          else if (pkey == "cycles_per_sec") record.perf.cycles_per_sec = as_metric(pvalue);
-          else if (pkey == "mean_hop_count") record.perf.mean_hop_count = as_metric(pvalue);
-          else if (pkey == "peak_vc_occupancy") {
-            record.perf.peak_vc_occupancy = static_cast<int>(pvalue.as_int());
-          } else {
-            throw std::invalid_argument("unknown perf key '" + pkey + "'");
-          }
-        }
-      } else {
-        throw std::invalid_argument("unknown record key '" + key + "'");
-      }
-    }
-    doc.records.push_back(std::move(record));
+    doc.records.push_back(parse_run_record(r));
   }
   return doc;
+}
+
+RunRecord parse_run_record(const util::JsonValue& r) {
+  RunRecord record;
+  for (const auto& [key, value] : r.members()) {
+    if (key == "label") record.label = value.as_string();
+    else if (key == "topology") record.topology = value.as_string();
+    else if (key == "routing") record.routing = value.as_string();
+    else if (key == "pattern") record.pattern = value.as_string();
+    else if (key == "routers") record.routers = static_cast<int>(value.as_int());
+    else if (key == "terminals") record.terminals = static_cast<int>(value.as_int());
+    else if (key == "seed") record.seed = value.as_uint();
+    else if (key == "pattern_seed") record.pattern_seed = value.as_uint();
+    else if (key == "status") record.status = value.as_string();
+    else if (key == "saturation") {
+      // Derived from the points; nothing to restore.
+    } else if (key == "saturation_estimate") {
+      record.saturation_estimate = as_metric(value);
+    } else if (key == "points") {
+      for (const auto& p : value.items()) {
+        RunPoint point;
+        for (const auto& [pkey, pvalue] : p.members()) {
+          if (pkey == "offered") point.offered = as_metric(pvalue);
+          else if (pkey == "accepted") point.accepted = as_metric(pvalue);
+          else if (pkey == "avg_latency") point.avg_latency = as_metric(pvalue);
+          else if (pkey == "p99_latency") point.p99_latency = as_metric(pvalue);
+          else if (pkey == "converged") point.converged = pvalue.as_bool();
+          else if (pkey == "mean_hops") point.mean_hops = as_metric(pvalue);
+          else if (pkey == "cycles") point.cycles = pvalue.as_int();
+          else if (pkey == "stalled") point.stalled = pvalue.as_bool();
+          else if (pkey == "degradation") {
+            point.has_degradation = true;
+            for (const auto& [dkey, dvalue] : pvalue.members()) {
+              if (dkey == "dropped") point.dropped = dvalue.as_int();
+              else if (dkey == "reinjected") point.reinjected = dvalue.as_int();
+              else if (dkey == "rerouted") point.rerouted = dvalue.as_int();
+              else if (dkey == "unreachable_dropped") {
+                point.unreachable_dropped = dvalue.as_int();
+              } else if (dkey == "unreachable_pairs") {
+                point.unreachable_pairs = dvalue.as_int();
+              } else if (dkey == "reconvergence") {
+                for (const auto& c : dvalue.items()) {
+                  point.reconvergence.push_back(c.as_int());
+                }
+              } else {
+                throw std::invalid_argument("unknown degradation key '" +
+                                            dkey + "'");
+              }
+            }
+          } else {
+            throw std::invalid_argument("unknown point key '" + pkey + "'");
+          }
+        }
+        record.points.push_back(std::move(point));
+      }
+    } else if (key == "perf") {
+      for (const auto& [pkey, pvalue] : value.members()) {
+        if (pkey == "sim_cycles") record.perf.sim_cycles = pvalue.as_int();
+        else if (pkey == "wall_seconds") record.perf.wall_seconds = as_metric(pvalue);
+        else if (pkey == "cycles_per_sec") record.perf.cycles_per_sec = as_metric(pvalue);
+        else if (pkey == "mean_hop_count") record.perf.mean_hop_count = as_metric(pvalue);
+        else if (pkey == "peak_vc_occupancy") {
+          record.perf.peak_vc_occupancy = static_cast<int>(pvalue.as_int());
+        } else {
+          throw std::invalid_argument("unknown perf key '" + pkey + "'");
+        }
+      }
+    } else {
+      throw std::invalid_argument("unknown record key '" + key + "'");
+    }
+  }
+  return record;
+}
+
+std::string record_json_line(const RunRecord& record) {
+  util::JsonWriter json(0);
+  append_record_json(json, record);
+  return json.str();
+}
+
+bool append_checkpoint(const std::string& path, const RunRecord& record) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) return false;
+  const std::string line = record_json_line(record) + "\n";
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), file) == line.size() &&
+      std::fflush(file) == 0;
+  std::fclose(file);
+  return ok;
+}
+
+std::vector<RunRecord> load_checkpoint(const std::string& path) {
+  std::string text;
+  if (!util::read_text_file(path, text)) {
+    throw std::invalid_argument("cannot read checkpoint '" + path + "'");
+  }
+  std::vector<RunRecord> records;
+  std::size_t line_no = 0, pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    const bool final_line = end >= text.size() ||
+                            text.find_first_not_of(" \t\r\n", end) ==
+                                std::string::npos;
+    pos = end + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      records.push_back(parse_run_record(util::json_parse(line)));
+    } catch (const std::exception& error) {
+      // A truncated FINAL line is the expected artifact of a killed run:
+      // drop it and resume from the last intact record. Anything earlier
+      // is corruption, not interruption.
+      if (final_line) {
+        std::fprintf(stderr,
+                     "checkpoint %s: dropping malformed final line %zu "
+                     "(interrupted write)\n",
+                     path.c_str(), line_no);
+        break;
+      }
+      throw std::invalid_argument("checkpoint " + path + " line " +
+                                  std::to_string(line_no) + ": " +
+                                  error.what());
+    }
+  }
+  return records;
 }
 
 std::string record_key(const RunRecord& record) {

@@ -52,6 +52,30 @@ struct RunDocument {
 RunDocument parse_run_document(const std::string& json_text);
 RunDocument parse_run_document(const util::JsonValue& root);
 
+/// One record (the element shape of "records") parsed back — the
+/// building block parse_run_document and checkpoint loading share.
+/// Throws std::invalid_argument on unknown keys.
+RunRecord parse_run_record(const util::JsonValue& value);
+
+// ---- checkpoint journal --------------------------------------------------
+//
+// Resumable suites stream completed records to a journal: one compact
+// JSON record per line, appended (and flushed) as each case finishes.
+// Doubles round-trip via %.17g, so a journal replayed into a document is
+// bit-identical to the uninterrupted run.
+
+/// One record as compact single-line JSON — a checkpoint journal line.
+std::string record_json_line(const RunRecord& record);
+
+/// Appends one record line to the journal at `path` (created on first
+/// use) and flushes it; false on I/O failure.
+bool append_checkpoint(const std::string& path, const RunRecord& record);
+
+/// Loads a checkpoint journal. A malformed FINAL line (the crash
+/// artifact of a killed run) is dropped with a stderr note; a malformed
+/// interior line throws std::invalid_argument naming the line number.
+std::vector<RunRecord> load_checkpoint(const std::string& path);
+
 /// The identity of a record across reruns: label, scenario axes and
 /// seeds — everything that names the experiment, nothing that measures
 /// it. Two runs of the same suite produce the same key sequence even

@@ -133,7 +133,153 @@ graph::Graph apply_failures(const graph::Graph& g, const FailureSpec& spec,
       kill.emplace_back(static_cast<std::int32_t>(r), u);
     }
   }
-  return g.without_edges(kill);
+  // Normalize + dedupe: explicit duplicate links (or a random kill
+  // colliding with an explicit one) must behave as a single removal.
+  for (auto& [u, v] : kill) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(kill.begin(), kill.end());
+  kill.erase(std::unique(kill.begin(), kill.end()), kill.end());
+  graph::Graph damaged = g.without_edges(kill);
+  if (dead_router != nullptr) {
+    // A router whose links all died (e.g. a kill-rate that isolates it)
+    // is dead in every way that matters — mark it like an explicit
+    // routers= kill so endpoint placement strips it identically.
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (g.degree(v) > 0 && damaged.degree(v) == 0) {
+        (*dead_router)[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  return damaged;
+}
+
+std::string FailureSchedule::canonical() const {
+  if (empty()) return "";
+  if (!name.empty()) return name;
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += ',';
+    out += part;
+  };
+  for (const auto& ev : events) {
+    std::string part =
+        ev.kind == "link_up" ? "up" : (ev.kind == "router_down" ? "rdown"
+                                                                : "down");
+    part += "@" + std::to_string(ev.at) + "=";
+    if (ev.kind == "router_down") {
+      part += std::to_string(ev.router);
+    } else {
+      part += std::to_string(ev.link.first) + "-" +
+              std::to_string(ev.link.second);
+    }
+    append(part);
+  }
+  for (const auto& flap : flaps) {
+    std::string part = "flap=";
+    if (flap.count > 0) {
+      part += std::to_string(flap.count) + "n";
+    } else {
+      char buf[40];
+      for (int precision = 3; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, flap.rate);
+        if (std::stod(buf) == flap.rate) break;
+      }
+      part += buf;
+    }
+    part += "@" + std::to_string(flap.seed) + "+" +
+            std::to_string(flap.down_at);
+    if (flap.up_after > 0) part += "/" + std::to_string(flap.up_after);
+    if (flap.repeats > 1) {
+      part += "x" + std::to_string(flap.repeats) + "p" +
+              std::to_string(flap.period);
+    }
+    append(part);
+  }
+  if (policy != "drop") append(policy);
+  return out;
+}
+
+sim::FaultTimeline FailureSchedule::compile(const graph::Graph& g) const {
+  sim::FaultTimeline timeline;
+  if (empty()) return timeline;
+  const auto fail = [this](const std::string& what) -> std::invalid_argument {
+    return std::invalid_argument("failure schedule '" + canonical() +
+                                 "': " + what);
+  };
+  if (policy == "reinject") {
+    timeline.policy = sim::FaultPolicy::Reinject;
+  } else if (policy != "drop") {
+    throw fail("unknown policy '" + policy + "' (known: drop reinject)");
+  }
+  const auto check_link = [&](std::int32_t u, std::int32_t v) {
+    if (u < 0 || v < 0 || u >= g.num_vertices() || v >= g.num_vertices() ||
+        !g.has_edge(u, v)) {
+      throw fail("link " + std::to_string(u) + "-" + std::to_string(v) +
+                 " is not in the graph");
+    }
+  };
+  for (const auto& ev : events) {
+    if (ev.at < 0) throw fail("event cycle must be >= 0");
+    sim::FaultEvent out;
+    out.cycle = ev.at;
+    if (ev.kind == "link_down" || ev.kind == "link_up") {
+      out.kind = ev.kind == "link_up" ? sim::FaultEvent::Kind::LinkUp
+                                      : sim::FaultEvent::Kind::LinkDown;
+      check_link(ev.link.first, ev.link.second);
+      out.u = ev.link.first;
+      out.v = ev.link.second;
+    } else if (ev.kind == "router_down") {
+      if (ev.router < 0 || ev.router >= g.num_vertices()) {
+        throw fail("router " + std::to_string(ev.router) +
+                   " out of range for a " +
+                   std::to_string(g.num_vertices()) + "-router graph");
+      }
+      out.kind = sim::FaultEvent::Kind::RouterDown;
+      out.u = ev.router;
+    } else {
+      throw fail("unknown event kind '" + ev.kind +
+                 "' (known: link_down link_up router_down)");
+    }
+    timeline.events.push_back(out);
+  }
+  for (const auto& flap : flaps) {
+    if (flap.rate < 0.0 || flap.count < 0 || flap.down_at < 0 ||
+        flap.up_after < 0 || flap.repeats < 1 ||
+        (flap.repeats > 1 && flap.period <= 0)) {
+      throw fail("flap needs rate/count >= 0, down_at/up_after >= 0, "
+                 "repeats >= 1 (with period > 0 when repeating)");
+    }
+    // Shuffle-prefix link selection, exactly like FailureSpec::link_rate
+    // (same +1e-9 count fudge), so flap sets nest across rates too.
+    std::vector<graph::Edge> order = g.edge_list();
+    util::Rng rng(flap.seed);
+    util::shuffle(order, rng);
+    const auto count =
+        flap.count > 0
+            ? static_cast<std::size_t>(flap.count)
+            : static_cast<std::size_t>(
+                  static_cast<double>(order.size()) * flap.rate + 1e-9);
+    order.resize(std::min(count, order.size()));
+    for (const auto& [u, v] : order) {
+      for (int rep = 0; rep < flap.repeats; ++rep) {
+        const std::int64_t base = flap.down_at + rep * flap.period;
+        timeline.events.push_back({sim::FaultEvent::Kind::LinkDown, base,
+                                   u, v});
+        if (flap.up_after > 0) {
+          timeline.events.push_back({sim::FaultEvent::Kind::LinkUp,
+                                     base + flap.up_after, u, v});
+        }
+      }
+    }
+  }
+  // The Network stable-sorts by cycle again; pre-sorting here keeps the
+  // canonical event order independent of flap/event interleaving.
+  std::stable_sort(timeline.events.begin(), timeline.events.end(),
+                   [](const sim::FaultEvent& a, const sim::FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  return timeline;
 }
 
 const std::vector<std::string>& routing_kinds() {
@@ -418,6 +564,9 @@ Scenario ScenarioRegistry::make(const ScenarioSpec& spec) {
     if (!spec.failure.empty()) {
       out += ", failure='" + spec.failure.canonical() + "'";
     }
+    if (!spec.schedule.empty()) {
+      out += ", schedule='" + spec.schedule.canonical() + "'";
+    }
     if (!spec.name.empty()) out += ", name='" + spec.name + "'";
     return out + "}";
   };
@@ -430,6 +579,10 @@ Scenario ScenarioRegistry::make(const ScenarioSpec& spec) {
         spec.pattern_seed != 0 ? spec.pattern_seed : spec.config.seed;
     scenario.pattern = make_pattern(*scenario.setup, spec.pattern, seed);
     scenario.config = spec.config;
+    // Live faults run against whatever graph the Network sees — i.e. the
+    // (possibly statically damaged) setup graph, so a schedule over a
+    // FailureSpec'd topology validates against the survivor links.
+    scenario.config.faults = spec.schedule.compile(scenario.setup->graph);
     scenario.label = !spec.name.empty()
                          ? spec.name
                          : scenario.setup->name + " / " +

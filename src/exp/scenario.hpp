@@ -131,6 +131,52 @@ struct FailureSpec {
 graph::Graph apply_failures(const graph::Graph& g, const FailureSpec& spec,
                             std::vector<char>* dead_router = nullptr);
 
+/// Runtime failure injection, the live counterpart of FailureSpec: timed
+/// link/router events plus seeded random flap processes, compiled against
+/// a concrete graph into the sim::FaultTimeline the Network executes
+/// mid-run. An empty schedule compiles to an empty timeline (no runtime
+/// cost, bit-identical statistics).
+struct FailureSchedule {
+  /// One scripted event. `kind` is "link_down" | "link_up" |
+  /// "router_down"; links use `link`, router kills use `router`.
+  struct Event {
+    std::string kind = "link_down";
+    std::int64_t at = 0;             ///< cycle (0 = first simulated cycle)
+    graph::Edge link{-1, -1};
+    int router = -1;
+  };
+  /// A seeded random flap process: a set of links (shuffle-prefix over
+  /// the edge list, exactly like FailureSpec::link_rate) goes down at
+  /// `down_at` and, when `up_after` > 0, comes back that many cycles
+  /// later; `repeats` > 1 replays the cycle every `period` cycles.
+  struct Flap {
+    double rate = 0.0;        ///< fraction of links (alternative: count)
+    int count = 0;            ///< absolute number of links
+    std::uint64_t seed = 0;
+    std::int64_t down_at = 0;
+    std::int64_t up_after = 0;  ///< 0 = the links stay down
+    std::int64_t period = 0;
+    int repeats = 1;
+  };
+
+  std::string name;           ///< optional label override
+  std::vector<Event> events;
+  std::vector<Flap> flaps;
+  std::string policy = "drop";  ///< "drop" | "reinject" (stranded packets)
+
+  bool empty() const { return events.empty() && flaps.empty(); }
+
+  /// Canonical schedule string: "" when empty, `name` when set, otherwise
+  /// a compact generated form. Doubles as the label suffix for suite
+  /// expansion over multiple schedules.
+  std::string canonical() const;
+
+  /// Validates against `g` (event links must exist, routers in range)
+  /// and expands flaps into concrete events. Throws std::invalid_argument
+  /// naming the schedule on invalid input.
+  sim::FaultTimeline compile(const graph::Graph& g) const;
+};
+
 // ---- scenario registry ---------------------------------------------------
 
 /// A fully specified sweep-ready experiment, by string keys.
@@ -142,6 +188,7 @@ struct ScenarioSpec {
   std::string routing = "MIN";
   std::string pattern = "uniform";
   FailureSpec failure;             ///< applied before routing state is built
+  FailureSchedule schedule;        ///< applied live, during execution
   sim::SimConfig config;
   RoutingOptions routing_options;
   std::uint64_t pattern_seed = 0;  ///< 0 -> config.seed

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 
@@ -30,6 +32,8 @@ struct EntryState {
   std::vector<std::string> routings = {"MIN"};
   std::vector<std::string> patterns = {"uniform"};
   std::vector<FailureSpec> failures = {FailureSpec{}};
+  std::vector<FailureSchedule> schedules = {FailureSchedule{}};
+  double timeout_seconds = 0.0;
   std::vector<double> loads;
   bool saturation = false;
   double sat_lo = 0.05;
@@ -89,6 +93,90 @@ FailureSpec parse_failure(const JsonValue& value, const std::string& context) {
   return spec;
 }
 
+FailureSchedule::Event parse_schedule_event(const JsonValue& value,
+                                            const std::string& context) {
+  if (!value.is_object()) bad(context, "expected an event object");
+  FailureSchedule::Event event;
+  bool has_action = false;
+  for (const auto& [key, v] : value.members()) {
+    if (key == "at") {
+      event.at = v.as_int();
+      if (event.at < 0) bad(context + ".at", "must be >= 0");
+    } else if (key == "link_down" || key == "link_up") {
+      if (has_action) bad(context, "event has more than one action");
+      has_action = true;
+      event.kind = key;
+      if (!v.is_array() || v.size() != 2) {
+        bad(context + "." + key, "expected a [u, v] pair");
+      }
+      event.link = {static_cast<std::int32_t>(v.items()[0].as_int()),
+                    static_cast<std::int32_t>(v.items()[1].as_int())};
+    } else if (key == "router_down") {
+      if (has_action) bad(context, "event has more than one action");
+      has_action = true;
+      event.kind = key;
+      event.router = static_cast<int>(v.as_int());
+    } else {
+      bad(context, "unknown event key '" + key +
+                       "' (at / link_down / link_up / router_down)");
+    }
+  }
+  if (!has_action) {
+    bad(context, "event needs link_down, link_up or router_down");
+  }
+  return event;
+}
+
+FailureSchedule::Flap parse_schedule_flap(const JsonValue& value,
+                                          const std::string& context) {
+  if (!value.is_object()) bad(context, "expected a flap object");
+  FailureSchedule::Flap flap;
+  for (const auto& [key, v] : value.members()) {
+    if (key == "rate") flap.rate = v.as_double();
+    else if (key == "count") flap.count = static_cast<int>(v.as_int());
+    else if (key == "seed") flap.seed = v.as_uint();
+    else if (key == "down_at") flap.down_at = v.as_int();
+    else if (key == "up_after") flap.up_after = v.as_int();
+    else if (key == "period") flap.period = v.as_int();
+    else if (key == "repeats") flap.repeats = static_cast<int>(v.as_int());
+    else bad(context, "unknown flap key '" + key + "'");
+  }
+  return flap;
+}
+
+/// Schedule objects: {} is the no-faults schedule; full validation
+/// (graph-dependent checks included) happens in FailureSchedule::compile.
+FailureSchedule parse_schedule(const JsonValue& value,
+                               const std::string& context) {
+  if (!value.is_object()) bad(context, "expected a schedule object");
+  FailureSchedule schedule;
+  for (const auto& [key, v] : value.members()) {
+    if (key == "name") {
+      schedule.name = v.as_string();
+    } else if (key == "policy") {
+      schedule.policy = v.as_string();
+      if (schedule.policy != "drop" && schedule.policy != "reinject") {
+        bad(context + ".policy", "must be 'drop' or 'reinject'");
+      }
+    } else if (key == "events") {
+      if (!v.is_array()) bad(context + ".events", "expected an array");
+      for (std::size_t i = 0; i < v.items().size(); ++i) {
+        schedule.events.push_back(parse_schedule_event(
+            v.items()[i], context + ".events[" + std::to_string(i) + "]"));
+      }
+    } else if (key == "flaps") {
+      if (!v.is_array()) bad(context + ".flaps", "expected an array");
+      for (std::size_t i = 0; i < v.items().size(); ++i) {
+        schedule.flaps.push_back(parse_schedule_flap(
+            v.items()[i], context + ".flaps[" + std::to_string(i) + "]"));
+      }
+    } else {
+      bad(context, "unknown schedule key '" + key + "'");
+    }
+  }
+  return schedule;
+}
+
 std::vector<double> parse_loads(const JsonValue& value,
                                 const std::string& context) {
   if (value.is_array()) {
@@ -122,6 +210,7 @@ void parse_config(const JsonValue& value, const std::string& context,
     else if (key == "warmup") config.warmup_cycles = static_cast<int>(v.as_int());
     else if (key == "measure") config.measure_cycles = static_cast<int>(v.as_int());
     else if (key == "drain") config.drain_cycles = static_cast<int>(v.as_int());
+    else if (key == "stall") config.stall_cycles = static_cast<int>(v.as_int());
     else if (key == "seed") config.seed = v.as_uint();
     else bad(context, "unknown config key '" + key + "'");
   }
@@ -171,6 +260,18 @@ void apply_entry_key(const std::string& key, const JsonValue& value,
         state.failures.push_back(parse_failure(
             value.items()[i], ctx + "[" + std::to_string(i) + "]"));
       }
+    } else if (key == "schedules") {
+      if (!value.is_array() || value.size() == 0) {
+        bad(ctx, "expected a non-empty array of schedule objects");
+      }
+      state.schedules.clear();
+      for (std::size_t i = 0; i < value.items().size(); ++i) {
+        state.schedules.push_back(parse_schedule(
+            value.items()[i], ctx + "[" + std::to_string(i) + "]"));
+      }
+    } else if (key == "timeout_seconds") {
+      state.timeout_seconds = value.as_double();
+      if (state.timeout_seconds < 0.0) bad(ctx, "must be >= 0");
     } else if (key == "loads") {
       state.loads = parse_loads(value, ctx);
     } else if (key == "saturation_search") {
@@ -208,43 +309,50 @@ void expand_entry(const EntryState& state, const std::string& name,
   if (!state.saturation && state.loads.empty()) {
     bad(context, "needs 'loads' or 'saturation_search'");
   }
-  // Cross product, topology-major, failures innermost — document order.
+  // Cross product, topology-major, schedules innermost — document order.
   for (const auto& topology : state.topologies) {
     for (const auto& routing : state.routings) {
       for (const auto& pattern : state.patterns) {
         for (const auto& failure : state.failures) {
-          SuiteCase cs;
-          cs.spec.topology = topology;
-          cs.spec.routing = routing;
-          cs.spec.pattern = pattern;
-          cs.spec.failure = failure;
-          cs.spec.config = state.config;
-          cs.spec.routing_options.ugal_threshold = state.ugal_threshold;
-          cs.spec.pattern_seed = state.pattern_seed;
-          if (!name.empty()) {
-            // Discriminate only the axes that actually vary, so a
-            // single-combination entry keeps its bare name.
-            std::string suffix;
-            const auto add = [&suffix](const std::string& part) {
-              suffix += suffix.empty() ? " [" : " ";
-              suffix += part;
-            };
-            if (state.topologies.size() > 1) add(topology);
-            if (state.routings.size() > 1) add(routing);
-            if (state.patterns.size() > 1) add(pattern);
-            if (state.failures.size() > 1) {
-              add(failure.empty() ? "intact" : failure.canonical());
+          for (const auto& schedule : state.schedules) {
+            SuiteCase cs;
+            cs.spec.topology = topology;
+            cs.spec.routing = routing;
+            cs.spec.pattern = pattern;
+            cs.spec.failure = failure;
+            cs.spec.schedule = schedule;
+            cs.spec.config = state.config;
+            cs.spec.routing_options.ugal_threshold = state.ugal_threshold;
+            cs.spec.pattern_seed = state.pattern_seed;
+            if (!name.empty()) {
+              // Discriminate only the axes that actually vary, so a
+              // single-combination entry keeps its bare name.
+              std::string suffix;
+              const auto add = [&suffix](const std::string& part) {
+                suffix += suffix.empty() ? " [" : " ";
+                suffix += part;
+              };
+              if (state.topologies.size() > 1) add(topology);
+              if (state.routings.size() > 1) add(routing);
+              if (state.patterns.size() > 1) add(pattern);
+              if (state.failures.size() > 1) {
+                add(failure.empty() ? "intact" : failure.canonical());
+              }
+              if (state.schedules.size() > 1) {
+                add(schedule.empty() ? "static" : schedule.canonical());
+              }
+              if (!suffix.empty()) suffix += "]";
+              cs.spec.name = name + suffix;
             }
-            if (!suffix.empty()) suffix += "]";
-            cs.spec.name = name + suffix;
+            cs.loads = state.loads;
+            cs.saturation = state.saturation;
+            cs.sat_lo = state.sat_lo;
+            cs.sat_hi = state.sat_hi;
+            cs.sat_tol = state.sat_tol;
+            cs.sat_iters = state.sat_iters;
+            cs.timeout_seconds = state.timeout_seconds;
+            suite.cases.push_back(std::move(cs));
           }
-          cs.loads = state.loads;
-          cs.saturation = state.saturation;
-          cs.sat_lo = state.sat_lo;
-          cs.sat_hi = state.sat_hi;
-          cs.sat_tol = state.sat_tol;
-          cs.sat_iters = state.sat_iters;
-          suite.cases.push_back(std::move(cs));
         }
       }
     }
@@ -336,6 +444,7 @@ namespace {
 /// scheduler mutex so the emitting thread can wait on it.
 struct CaseState {
   bool skip = false;
+  bool resumed = false;  ///< record restored from a checkpoint journal
   Scenario scenario;
   RunRecord record;
   std::vector<SweepCounters> counters;       ///< one per shard (grid cases)
@@ -359,6 +468,31 @@ void stamp_pattern_seed(const ScenarioSpec& spec, RunRecord& record) {
   }
 }
 
+/// The record shell a case WOULD produce, carrying its full identity
+/// (axes, seeds, load grid) but nothing measured. Skipped cases emit it
+/// (with a status) as their document-order placeholder; resume prediction
+/// keys off it.
+RunRecord skeleton_record(const SuiteCase& cs, const Scenario& scenario) {
+  RunRecord record = prepare_sweep_record(
+      *scenario.setup, *scenario.routing, *scenario.pattern, scenario.config,
+      cs.saturation ? 0 : cs.loads.size(), scenario.label);
+  for (std::size_t i = 0; i < record.points.size(); ++i) {
+    record.points[i].offered = cs.loads[i];
+  }
+  stamp_pattern_seed(cs.spec, record);
+  return record;
+}
+
+/// The record_key() this case's real record will carry. Grid keys embed
+/// the load axis (offered_load() echoes the configured load exactly);
+/// saturation records carry the " | sat-search" marker, forced here via a
+/// placeholder estimate.
+std::string predicted_key(const SuiteCase& cs, const Scenario& scenario) {
+  RunRecord record = skeleton_record(cs, scenario);
+  if (cs.saturation) record.saturation_estimate = 1.0;
+  return record_key(record);
+}
+
 }  // namespace
 
 std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
@@ -371,17 +505,48 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
     // pool worker would run those parallel_fors inline) and cached
     // setups are shared instead of raced into existence.
     std::vector<CaseState> states(total);
+
+    // Checkpoint records indexed by key; duplicates (legal when a suite
+    // repeats a case verbatim) queue up and resume occurrences FIFO.
+    std::map<std::string, std::deque<const RunRecord*>> journal;
+    if (schedule_.resume != nullptr) {
+      for (const RunRecord& record : *schedule_.resume) {
+        journal[record_key(record)].push_back(&record);
+      }
+    }
+
     std::size_t runnable = 0;
     for (std::size_t i = 0; i < total; ++i) {
-      states[i].scenario = registry_.make(suite.cases[i].spec);
+      const SuiteCase& cs = suite.cases[i];
+      states[i].scenario = registry_.make(cs.spec);
       if (!serves_all_terminals(*states[i].scenario.setup)) {
         std::fprintf(stderr,
                      "suite %s: skipping '%s' — damaged graph no longer "
                      "connects all terminals\n",
                      suite.name.c_str(), states[i].scenario.label.c_str());
         states[i].skip = true;
+        states[i].done = true;
+        // The placeholder keeps the case visible to key/diff gates; it is
+        // rebuilt (identically) on resume, so its journal entry — if any —
+        // is simply left unconsumed.
+        states[i].record = skeleton_record(cs, states[i].scenario);
+        states[i].record.status = "skipped-disconnected";
         ++skipped;
         continue;
+      }
+      if (schedule_.resume != nullptr) {
+        const auto it = journal.find(predicted_key(cs, states[i].scenario));
+        if (it != journal.end() && !it->second.empty()) {
+          states[i].resumed = true;
+          states[i].done = true;
+          states[i].record = *it->second.front();
+          it->second.pop_front();
+          std::fprintf(stderr,
+                       "suite %s: resuming '%s' from checkpoint\n",
+                       suite.name.c_str(),
+                       states[i].scenario.label.c_str());
+          continue;
+        }
       }
       ++runnable;
     }
@@ -394,14 +559,21 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
     if (!schedule_.parallel || runnable <= 1) {
       // Serial scheduler: one case at a time, each case parallelizing
       // internally across the whole pool (run_sweep's own sharding).
+      // Skipped/resumed cases emit their phase-1 records in place.
       for (std::size_t i = 0; i < total; ++i) {
-        if (states[i].skip) continue;
+        if (states[i].skip || states[i].resumed) {
+          log.add(std::move(states[i].record));
+          if (on_record) on_record(log.records().back(), i, total);
+          continue;
+        }
         const SuiteCase& cs = suite.cases[i];
         const Scenario& scenario = states[i].scenario;
         RunRecord record =
             cs.saturation ? saturation_search(scenario, cs.sat_lo, cs.sat_hi,
-                                              cs.sat_tol, cs.sat_iters)
-                          : run_sweep(scenario, cs.loads);
+                                              cs.sat_tol, cs.sat_iters,
+                                              cs.timeout_seconds)
+                          : run_sweep(scenario, cs.loads,
+                                      cs.timeout_seconds);
         stamp_pattern_seed(cs.spec, record);
         log.add(std::move(record));
         if (on_record) on_record(log.records().back(), i, total);
@@ -418,7 +590,7 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
               : std::max<std::size_t>(1, pool.num_threads() / runnable);
       std::vector<Unit> units;
       for (std::size_t i = 0; i < total; ++i) {
-        if (states[i].skip) continue;
+        if (states[i].skip || states[i].resumed) continue;
         const SuiteCase& cs = suite.cases[i];
         const Scenario& scenario = states[i].scenario;
         const std::size_t shards =
@@ -451,12 +623,13 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
         }
         if (cs.saturation) {
           st.record = saturation_search(st.scenario, cs.sat_lo, cs.sat_hi,
-                                        cs.sat_tol, cs.sat_iters);
+                                        cs.sat_tol, cs.sat_iters,
+                                        cs.timeout_seconds);
         } else {
           run_sweep_shard(*st.scenario.setup, *st.scenario.routing,
                           *st.scenario.pattern, st.scenario.config, cs.loads,
                           unit.shard, st.counters.size(), st.record.points,
-                          st.counters[unit.shard]);
+                          st.counters[unit.shard], cs.timeout_seconds);
         }
       };
 
@@ -509,7 +682,8 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
       std::exception_ptr emit_error;
       std::unique_lock<std::mutex> lock(mutex);
       for (std::size_t i = 0; i < total; ++i) {
-        if (states[i].skip) continue;
+        // Skipped/resumed cases hold their records already (done at
+        // phase 1), so the wait falls straight through for them.
         cv.wait(lock, [&] {
           return states[i].done || abort.load(std::memory_order_relaxed);
         });

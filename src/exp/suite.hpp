@@ -50,6 +50,9 @@ struct SuiteCase {
   double sat_hi = 1.0;
   double sat_tol = 0.02;
   int sat_iters = 10;
+  /// Per-case wall-clock budget; 0 = unlimited. An expired case keeps the
+  /// points it finished and lands with record.status = "timeout".
+  double timeout_seconds = 0.0;
 };
 
 struct Suite {
@@ -87,6 +90,12 @@ struct ScheduleOptions {
   /// cases get pure case-parallelism, few big cases still split their
   /// load grids.
   int workers_per_case = 0;
+  /// Checkpoint records from an interrupted run (load_checkpoint order).
+  /// Cases whose predicted record_key() matches a journal record (FIFO
+  /// per key) are not re-simulated: the stored record is emitted in its
+  /// document-order slot, so the final document is bit-identical to an
+  /// uninterrupted run. Not owned; must outlive run().
+  const std::vector<RunRecord>* resume = nullptr;
 };
 
 /// Executes a suite through run_sweep / saturation_search, streaming
@@ -94,8 +103,10 @@ struct ScheduleOptions {
 /// (record, case index, total cases) — the hook print/emit frontends use;
 /// it always fires in case order (the parallel scheduler emits the
 /// completed prefix as it grows). Cases whose damaged graph no longer
-/// connects all terminals are skipped with a stderr note (their oracle
-/// has no route to offer); returns the number of cases skipped.
+/// connects all terminals are not simulated (their oracle has no route to
+/// offer): they emit a status = "skipped-disconnected" record in their
+/// document-order slot — with a stderr note — so key/diff gates still see
+/// every case; returns the number of cases skipped.
 /// Damaged-graph cache entries are shared across the run's cases and
 /// evicted from the registry when the run finishes.
 class SuiteRunner {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 
 #include "sim/routing.hpp"
@@ -93,8 +94,43 @@ Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
   link_busy_until_.assign(num_channels, 0);
   injection_pool_.assign(static_cast<std::size_t>(n), {});
   router_backlog_.assign(static_cast<std::size_t>(n), 0);
+
+  has_timeline_ = !config_.faults.empty();
+  if (has_timeline_) {
+    auto& events = config_.faults.events;
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.cycle < b.cycle;
+                     });
+    recon_slot_.assign(events.size(), -1);
+    down_events_ = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FaultEvent& ev = events[i];
+      if (ev.kind == FaultEvent::Kind::RouterDown) {
+        if (ev.u < 0 || ev.u >= n) {
+          throw std::invalid_argument(
+              "FaultTimeline: router " + std::to_string(ev.u) +
+              " out of range [0, " + std::to_string(n) + ")");
+        }
+      } else {
+        if (ev.u < 0 || ev.u >= n || ev.v < 0 || ev.v >= n ||
+            !g.has_edge(ev.u, ev.v)) {
+          throw std::invalid_argument(
+              "FaultTimeline: link (" + std::to_string(ev.u) + ", " +
+              std::to_string(ev.v) + ") is not in the graph");
+        }
+      }
+      if (ev.kind != FaultEvent::Kind::LinkUp) {
+        recon_slot_[i] = static_cast<int>(down_events_++);
+      }
+    }
+    channel_dead_.assign(num_channels, 0);
+    router_dead_.assign(static_cast<std::size_t>(n), 0);
+  }
   reset_state();  // builds the injection schedule; everything above holds
 }
+
+Network::~Network() = default;
 
 void Network::reset(double load) {
   load_ = load;
@@ -151,6 +187,24 @@ void Network::reset_state() {
   measured_flits_ejected_ = 0;
   measured_hops_ = 0;
   peak_vc_packets_ = 0;
+  stalled_ = false;
+  measured_lost_ = 0;
+  last_delivery_cycle_ = 0;
+  total_ejected_flits_ = 0;
+  prev_total_flits_ = 0;
+  if (has_timeline_) {
+    next_fault_ = 0;
+    any_dead_ = false;
+    std::fill(channel_dead_.begin(), channel_dead_.end(), 0);
+    std::fill(router_dead_.begin(), router_dead_.end(), 0);
+    degradation_ = DegradationStats{};
+    degradation_.reconvergence.assign(down_events_, -1);
+    unreachable_seen_.clear();
+    pending_recovery_.clear();
+    window_.assign(kRecoveryWindow, 0);
+    window_total_ = 0;
+    degraded_oracle_.reset();
+  }
 }
 
 double Network::first_hop_occupancy(int u, int v) const {
@@ -200,6 +254,10 @@ void Network::schedule_terminal(int t, std::int64_t at) {
 
 void Network::process_due_terminal(int t) {
   const auto ti = static_cast<std::size_t>(t);
+  if (has_timeline_ &&
+      router_dead_[static_cast<std::size_t>(terminals_[ti])]) {
+    return;  // no injection, no reschedule: the router is down
+  }
   // Finite source queues: a terminal whose injection backlog is this many
   // packets deep defers the arrival until the queue drains back to the
   // cap. Below saturation the backlog never builds, so measurements are
@@ -262,6 +320,8 @@ void Network::eject(int packet_id) {
   Packet& packet = packets_[static_cast<std::size_t>(packet_id)];
   const auto t = static_cast<std::size_t>(packet.dst_terminal);
   terminal_eject_free_[t] = cycle_ + config_.packet_size;
+  last_delivery_cycle_ = cycle_;
+  total_ejected_flits_ += config_.packet_size;
   const std::int64_t latency = cycle_ + config_.packet_size - packet.birth;
   if (cycle_ >= measure_start_ && cycle_ < measure_end_) {
     measured_flits_ejected_ += config_.packet_size;
@@ -278,12 +338,226 @@ void Network::release_packet(int packet_id) {
   free_packets_.push_back(packet_id);
 }
 
+void Network::advance_faults() {
+  // Delivered-flit window (faults present only): feed the previous
+  // cycle's ejections into the sliding window and settle reconvergence
+  // clocks that have re-entered their band.
+  const std::int64_t delta = total_ejected_flits_ - prev_total_flits_;
+  prev_total_flits_ = total_ejected_flits_;
+  const auto slot = static_cast<std::size_t>(cycle_ % kRecoveryWindow);
+  window_total_ += delta - window_[slot];
+  window_[slot] = delta;
+  for (std::size_t i = 0; i < pending_recovery_.size();) {
+    if (static_cast<double>(window_total_) >= pending_recovery_[i].target) {
+      degradation_.reconvergence[pending_recovery_[i].slot] =
+          cycle_ - pending_recovery_[i].at;
+      pending_recovery_[i] = pending_recovery_.back();
+      pending_recovery_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  const auto& events = config_.faults.events;
+  bool changed = false;
+  while (next_fault_ < events.size() &&
+         events[next_fault_].cycle <= cycle_) {
+    apply_fault(events[next_fault_], next_fault_);
+    changed = true;
+    ++next_fault_;
+  }
+  if (changed) rebuild_degraded_view();
+}
+
+void Network::apply_fault(const FaultEvent& event, std::size_t index) {
+  if (event.kind == FaultEvent::Kind::LinkUp) {
+    channel_dead_[static_cast<std::size_t>(channel_id(event.u, event.v))] = 0;
+    channel_dead_[static_cast<std::size_t>(channel_id(event.v, event.u))] = 0;
+    return;
+  }
+  // The reconvergence clock starts from the pre-fault delivery rate.
+  const int rslot = recon_slot_[index];
+  if (rslot >= 0) {
+    pending_recovery_.push_back(
+        {static_cast<std::size_t>(rslot), cycle_,
+         config_.faults.recovery_band * static_cast<double>(window_total_)});
+  }
+  if (event.kind == FaultEvent::Kind::LinkDown) {
+    kill_link(event.u, event.v);
+    return;
+  }
+  // RouterDown: the router, all incident links, and its terminals.
+  router_dead_[static_cast<std::size_t>(event.u)] = 1;
+  for (const std::int32_t v : graph_.neighbors(event.u)) {
+    kill_link(event.u, static_cast<int>(v));
+  }
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    if (terminals_[t] == event.u) next_inject_[t] = kNeverInject;
+  }
+}
+
+void Network::kill_link(int u, int v) {
+  const int cuv = channel_id(u, v);
+  const int cvu = channel_id(v, u);
+  if (channel_dead_[static_cast<std::size_t>(cuv)]) return;  // already down
+  channel_dead_[static_cast<std::size_t>(cuv)] = 1;
+  channel_dead_[static_cast<std::size_t>(cvu)] = 1;
+  flush_dead_channel(cuv);
+  flush_dead_channel(cvu);
+}
+
+void Network::flush_dead_channel(int channel) {
+  const auto c = static_cast<std::size_t>(channel);
+  const int target = channel_target_[c];
+  int flushed = 0;
+  for (int vc = 0; vc < vcs_used_; ++vc) {
+    const std::size_t ring = ring_of(channel, vc);
+    const int size = ring_size_[ring];
+    for (int k = 0; k < size; ++k) {
+      const int packet_id = ring_slots_
+          [ring * static_cast<std::size_t>(vc_cap_packets_) +
+           static_cast<std::size_t>((ring_head_[ring] + k) %
+                                    vc_cap_packets_)];
+      if (config_.faults.policy == FaultPolicy::Reinject) {
+        requeue_at_source(packet_id);
+      } else {
+        Packet& packet = packets_[static_cast<std::size_t>(packet_id)];
+        ++degradation_.dropped;
+        if (packet.measured) ++measured_lost_;
+        release_packet(packet_id);
+      }
+      ++flushed;
+    }
+    ring_size_[ring] = 0;
+    ring_head_[ring] = 0;
+  }
+  vc_nonempty_[c] = 0;
+  channel_occupancy_[c] = 0;
+  link_busy_until_[c] = 0;
+  router_backlog_[static_cast<std::size_t>(target)] -= flushed;
+}
+
+void Network::rebuild_degraded_view() {
+  const int n = graph_.num_vertices();
+  std::vector<graph::Edge> live;
+  bool any_dead = false;
+  for (int u = 0; u < n; ++u) {
+    const auto row = graph_.neighbors(u);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const bool dead = channel_dead_[static_cast<std::size_t>(
+          channel_offset_[static_cast<std::size_t>(u)] +
+          static_cast<std::int64_t>(k))] != 0;
+      any_dead = any_dead || dead;
+      if (!dead && u < row[k]) live.emplace_back(u, row[k]);
+    }
+  }
+  any_dead_ = any_dead;
+  degraded_graph_ = graph::Graph::from_edges(n, std::move(live));
+  degraded_oracle_ = std::make_unique<DistanceOracle>(degraded_graph_);
+}
+
+bool Network::route_crosses_dead(const Route& route, int from_hop) const {
+  for (int h = from_hop; h + 1 < route.len; ++h) {
+    const int c = channel_id(route.hops[static_cast<std::size_t>(h)],
+                             route.hops[static_cast<std::size_t>(h) + 1]);
+    if (channel_dead_[static_cast<std::size_t>(c)]) return true;
+  }
+  return false;
+}
+
+bool Network::pick_route(int src, int dst, Route& out) {
+  // Bounded rejection sampling: most algorithms can avoid a dead link on
+  // a retry (adaptive ones route on the degraded view directly); MIN
+  // keeps its intact tables, so pairs whose minimal paths are all dead
+  // exhaust the retries and report unreachable.
+  constexpr int kRetries = 4;
+  for (int attempt = 0; attempt < kRetries; ++attempt) {
+    out.clear();
+    if (any_dead_) {
+      routing_.route_degraded(*this, degraded_graph_, *degraded_oracle_,
+                              src, dst, rng_, out);
+    } else {
+      routing_.route(*this, src, dst, rng_, out);
+    }
+    if (out.len >= 2 && !route_crosses_dead(out, 0)) return true;
+  }
+  out.clear();
+  return false;
+}
+
+bool Network::reroute_mid(Packet& packet, int at_router) {
+  const int dst_router = pattern_.router_of(packet.dst_terminal);
+  if (at_router == dst_router) {
+    // A detour already passing through the destination: just stop here.
+    packet.route.len = packet.hop + 1;
+    packet.out_channel = -1;
+    return true;
+  }
+  Route tail;
+  if (!pick_route(at_router, dst_router, tail)) return false;
+  if (packet.hop + tail.len > Route::kMaxLen) return false;
+  // Keep the hops already taken, splice the live continuation on.
+  packet.route.len = packet.hop + 1;
+  for (int h = 1; h < tail.len; ++h) {
+    packet.route.push(tail.hops[static_cast<std::size_t>(h)]);
+  }
+  packet.out_channel = -1;
+  return true;
+}
+
+void Network::requeue_at_source(int packet_id) {
+  Packet& packet = packets_[static_cast<std::size_t>(packet_id)];
+  packet.route.clear();
+  packet.hop = 0;
+  packet.out_channel = -1;
+  packet.ready = cycle_;
+  ++degradation_.reinjected;
+  injection_pool_[static_cast<std::size_t>(packet.src_router)]
+      .push_back(packet_id);
+  ++router_backlog_[static_cast<std::size_t>(packet.src_router)];
+}
+
+void Network::drop_unreachable(int packet_id, int at_router) {
+  (void)at_router;
+  Packet& packet = packets_[static_cast<std::size_t>(packet_id)];
+  ++degradation_.unreachable_dropped;
+  unreachable_seen_.emplace(packet.src_router,
+                            pattern_.router_of(packet.dst_terminal));
+  if (packet.measured) ++measured_lost_;
+  release_packet(packet_id);
+}
+
 /// Attempts to grant the packet (currently at `at_router`, head ready)
 /// its next move: ejection at the destination or one hop forward.
 /// Returns true when the packet left the current buffer.
 bool Network::try_dispatch(int packet_id, int at_router) {
   Packet& packet = packets_[static_cast<std::size_t>(packet_id)];
   if (packet.ready > cycle_) return false;
+
+  // Incremental invalidation: a committed route whose remainder crosses a
+  // link that has since died is re-pathed (or the packet disposed of per
+  // policy) the next time the packet bids for the switch.
+  if (has_timeline_ && packet.route.len != 0 &&
+      packet.hop < packet.route.len - 1 &&
+      route_crosses_dead(packet.route, packet.hop)) {
+    if (packet.hop == 0) {
+      // Still at the source: forget the choice and re-route fresh below.
+      if (packet.out_channel >= 0) {
+        --waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
+      }
+      packet.route.clear();
+      packet.out_channel = -1;
+      ++degradation_.rerouted;
+    } else if (reroute_mid(packet, at_router)) {
+      ++degradation_.rerouted;
+    } else if (config_.faults.policy == FaultPolicy::Reinject) {
+      requeue_at_source(packet_id);
+      return true;  // caller pops the buffer slot
+    } else {
+      drop_unreachable(packet_id, at_router);
+      return true;
+    }
+  }
 
   // Lazy routing: decided when the packet first gets a shot at the
   // switch, so adaptive schemes read fresh congestion state.
@@ -292,13 +566,24 @@ bool Network::try_dispatch(int packet_id, int at_router) {
         pattern_.router_of(packet.dst_terminal);
     if (packet.src_router == dst_router) {
       packet.route.push(packet.src_router);
-    } else {
+    } else if (!has_timeline_) {
       routing_.route(*this, packet.src_router, dst_router, rng_,
                      packet.route);
       // The packet now queues for its chosen first link.
       packet.out_channel =
           channel_id(packet.src_router, packet.route.hops[1]);
       ++waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
+    } else if (pick_route(packet.src_router, dst_router, packet.route)) {
+      packet.out_channel =
+          channel_id(packet.src_router, packet.route.hops[1]);
+      ++waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
+    } else if (config_.faults.policy == FaultPolicy::Reinject) {
+      // Stay queued at the source: a link_up may restore a path.
+      unreachable_seen_.emplace(packet.src_router, dst_router);
+      return false;
+    } else {
+      drop_unreachable(packet_id, at_router);
+      return true;
     }
   }
 
@@ -405,6 +690,7 @@ void Network::allocate_router(int v) {
 }
 
 void Network::step() {
+  if (has_timeline_) advance_faults();
   inject_new_packets();
   const int n = graph_.num_vertices();
   // Active-router worklist: a router with nothing queued (no VC ring
@@ -421,16 +707,44 @@ void Network::step() {
 void Network::run_phases() {
   for (int i = 0; i < config_.warmup_cycles; ++i) step();
 
+  // Progress watchdog: a damaged (or pathologically congested) run that
+  // stops delivering while measured packets are outstanding terminates
+  // with stalled() = true instead of spinning out the full schedule. The
+  // default threshold (drain_cycles of silence, re-armed per phase) can
+  // only fire on a run whose entire drain budget passed without a single
+  // delivery — it never perturbs a run the old schedule completed.
+  std::int64_t stall_after = std::numeric_limits<std::int64_t>::max();
+  if (config_.stall_cycles > 0) {
+    stall_after = config_.stall_cycles;
+  } else if (config_.stall_cycles == 0 && config_.drain_cycles > 0) {
+    stall_after = config_.drain_cycles;
+  }
+  const auto is_stalled = [&] {
+    return measured_generated_ > measured_delivered_ + measured_lost_ &&
+           cycle_ - last_delivery_cycle_ >= stall_after;
+  };
+
   measuring_ = true;
   measure_start_ = cycle_;
   measure_end_ = cycle_ + config_.measure_cycles;
-  for (int i = 0; i < config_.measure_cycles; ++i) step();
+  last_delivery_cycle_ = cycle_;
+  for (int i = 0; i < config_.measure_cycles; ++i) {
+    step();
+    if (is_stalled()) {
+      stalled_ = true;
+      break;
+    }
+  }
   measuring_ = false;
 
+  // Drain until every measured packet is delivered or accounted lost.
+  last_delivery_cycle_ = std::max(last_delivery_cycle_, cycle_);
   for (int i = 0;
-       i < config_.drain_cycles && measured_delivered_ < measured_generated_;
+       !stalled_ && i < config_.drain_cycles &&
+       measured_delivered_ + measured_lost_ < measured_generated_;
        ++i) {
     step();
+    if (is_stalled()) stalled_ = true;
   }
 }
 

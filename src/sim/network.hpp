@@ -38,6 +38,8 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -50,6 +52,48 @@
 namespace pf::sim {
 
 class RoutingAlgorithm;
+class DistanceOracle;
+
+/// One timed topology change, applied at the start of the given cycle.
+/// LinkDown/LinkUp name an undirected link (u, v); RouterDown names the
+/// router in `u` and takes every incident link down with it.
+struct FaultEvent {
+  enum class Kind { LinkDown, LinkUp, RouterDown };
+  Kind kind = Kind::LinkDown;
+  std::int64_t cycle = 0;
+  std::int32_t u = -1;
+  std::int32_t v = -1;
+};
+
+/// What happens to packets caught on a link when it dies (buffered on it
+/// or stranded mid-route with no live continuation).
+enum class FaultPolicy {
+  Drop,      ///< discard; measured losses are accounted, never waited on
+  Reinject,  ///< send back to the source router's injection queue
+};
+
+/// A pre-sorted script of runtime faults the Network executes mid-run.
+/// An empty timeline is the default and leaves the hot loop untouched.
+struct FaultTimeline {
+  std::vector<FaultEvent> events;
+  FaultPolicy policy = FaultPolicy::Drop;
+  /// A down-event's reconvergence ends when the delivered-flit rate
+  /// (sliding window) recovers to this fraction of its pre-fault value.
+  double recovery_band = 0.9;
+
+  bool empty() const { return events.empty(); }
+};
+
+/// Degradation accounting, populated only when a timeline is present.
+struct DegradationStats {
+  std::int64_t dropped = 0;        ///< flushed off a dying link (Drop)
+  std::int64_t reinjected = 0;     ///< sent back to source (Reinject)
+  std::int64_t rerouted = 0;       ///< re-pathed around dead links
+  std::int64_t unreachable_dropped = 0;  ///< no live path existed
+  /// Per down-event (timeline order): cycles from the event until the
+  /// delivery rate re-entered the recovery band; -1 = never recovered.
+  std::vector<std::int64_t> reconvergence;
+};
 
 struct SimConfig {
   int packet_size = 4;      ///< flits per packet
@@ -64,6 +108,13 @@ struct SimConfig {
   /// either way; the equivalence test sets it to pin the walk against a
   /// heap-chosen twin. Not part of any serialized schema.
   bool scan_injection = false;
+  /// Progress watchdog: during measure/drain, if no packet is delivered
+  /// for this many cycles while measured packets are outstanding, the
+  /// run terminates with stalled() = true instead of spinning. 0 picks
+  /// drain_cycles (always bounded); negative disables the watchdog.
+  int stall_cycles = 0;
+  /// Runtime failure script; empty (the default) costs nothing.
+  FaultTimeline faults;
 };
 
 /// A source route: the router sequence hops[0..len), hops[0] = source.
@@ -91,6 +142,7 @@ class Network {
   Network(const graph::Graph& g, const std::vector<int>& endpoints,
           const RoutingAlgorithm& routing, const TrafficPattern& pattern,
           const SimConfig& config, double load);
+  ~Network();  // out of line: degraded_oracle_ is incomplete here
 
   const graph::Graph& graph() const { return graph_; }
   const SimConfig& config() const { return config_; }
@@ -152,6 +204,24 @@ class Network {
 
   std::int64_t current_cycle() const { return cycle_; }
 
+  // --- runtime faults (valid when config.faults is non-empty) ---
+  bool has_faults() const { return has_timeline_; }
+  /// True when the progress watchdog terminated measure/drain early.
+  bool stalled() const { return stalled_; }
+  const DegradationStats& degradation() const { return degradation_; }
+  /// Distinct (source router, destination router) pairs that had no live
+  /// path when a packet between them needed one.
+  std::int64_t unreachable_pairs() const {
+    return static_cast<std::int64_t>(unreachable_seen_.size());
+  }
+  /// Measured packets lost to faults (never delivered, never waited on).
+  std::int64_t measured_lost() const { return measured_lost_; }
+  /// Whether the directed link u -> v is currently up.
+  bool link_alive(int u, int v) const {
+    return !has_timeline_ ||
+           !channel_dead_[static_cast<std::size_t>(channel_id(u, v))];
+  }
+
  private:
   struct Packet {
     Route route;            ///< empty until first allocation (lazy routing)
@@ -190,6 +260,28 @@ class Network {
   bool try_dispatch(int packet_id, int at_router);  ///< grant check + move
   void eject(int packet_id);
   void release_packet(int packet_id);
+
+  // --- runtime-fault machinery (all no-ops when has_timeline_ is false) ---
+  /// Applies events due this cycle and updates recovery tracking.
+  void advance_faults();
+  void apply_fault(const FaultEvent& event, std::size_t index);
+  /// Kills both directions of (u, v) and evacuates their buffers.
+  void kill_link(int u, int v);
+  void flush_dead_channel(int channel);
+  /// Rebuilds the degraded graph + oracle from the live links.
+  void rebuild_degraded_view();
+  /// True when the remaining route (from hop `from_hop`) uses a dead link.
+  bool route_crosses_dead(const Route& route, int from_hop) const;
+  /// Samples a fresh route avoiding dead links (bounded retries).
+  /// False when no live route was found.
+  bool pick_route(int src, int dst, Route& out);
+  /// Re-paths a mid-flight packet from its current router on the degraded
+  /// graph, keeping the hops already taken. False when stranded.
+  bool reroute_mid(Packet& packet, int at_router);
+  /// Sends a fault-hit packet back to its source's injection queue.
+  void requeue_at_source(int packet_id);
+  /// Discards a packet stranded with no live path.
+  void drop_unreachable(int packet_id, int at_router);
 
   const graph::Graph& graph_;
   const RoutingAlgorithm& routing_;
@@ -259,6 +351,35 @@ class Network {
   std::int64_t measured_hops_ = 0;
   int peak_vc_packets_ = 0;
   std::vector<std::int64_t> latencies_;
+
+  // Runtime-fault state. Sized/maintained only when has_timeline_; the
+  // default path never touches it beyond a single branch per step.
+  bool has_timeline_ = false;
+  bool any_dead_ = false;        ///< at least one link currently down
+  std::size_t next_fault_ = 0;   ///< cursor into config_.faults.events
+  std::size_t down_events_ = 0;  ///< reconvergence slots (non-LinkUp)
+  std::vector<int> recon_slot_;  ///< event index -> reconvergence slot
+  std::vector<char> channel_dead_;  ///< per directed channel
+  std::vector<char> router_dead_;
+  graph::Graph degraded_graph_;  ///< live links only (valid when any_dead_)
+  std::unique_ptr<DistanceOracle> degraded_oracle_;
+  DegradationStats degradation_;
+  std::set<std::pair<int, int>> unreachable_seen_;
+  std::int64_t measured_lost_ = 0;
+  bool stalled_ = false;
+  std::int64_t last_delivery_cycle_ = 0;
+  // Sliding delivered-flit window feeding reconvergence detection.
+  static constexpr int kRecoveryWindow = 64;
+  std::vector<std::int64_t> window_;  ///< per-cycle ejected flits, ring
+  std::int64_t window_total_ = 0;
+  std::int64_t total_ejected_flits_ = 0;
+  std::int64_t prev_total_flits_ = 0;
+  struct PendingRecovery {
+    std::size_t slot;        ///< index into degradation_.reconvergence
+    std::int64_t at;         ///< event cycle
+    double target;           ///< window_total_ level that ends the clock
+  };
+  std::vector<PendingRecovery> pending_recovery_;
 };
 
 }  // namespace pf::sim

@@ -132,6 +132,103 @@ void UgalRouting::route(const Network& net, int src, int dst,
   out = min_cost <= detour_cost ? minimal : detour;
 }
 
+void ValiantRouting::route_degraded(const Network& net, const graph::Graph& g,
+                                    const DistanceOracle& oracle, int src,
+                                    int dst, util::Rng& rng,
+                                    Route& out) const {
+  (void)net;
+  const int direct = oracle.distance(src, dst);
+  if (direct < 0 || direct + 1 > Route::kMaxLen) return;  // no usable path
+  const int n = g.num_vertices();
+  // A random intermediate that is still connected to both ends (and whose
+  // detour fits a Route); fall back to the direct minimal path when none
+  // turns up.
+  int mid = -1;
+  for (int tries = 0; tries < 8; ++tries) {
+    const int cand = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (cand != src && cand != dst && oracle.distance(src, cand) >= 0 &&
+        oracle.distance(cand, dst) >= 0 &&
+        oracle.distance(src, cand) + oracle.distance(cand, dst) + 1 <=
+            Route::kMaxLen) {
+      mid = cand;
+      break;
+    }
+  }
+  if (mid < 0) {
+    oracle.sample_min_path(g, src, dst, rng, out);
+    return;
+  }
+  oracle.sample_min_path(g, src, mid, rng, out);
+  oracle.sample_min_path(g, mid, dst, rng, out);
+}
+
+void CompactValiantRouting::route_degraded(const Network& net,
+                                           const graph::Graph& g,
+                                           const DistanceOracle& oracle,
+                                           int src, int dst, util::Rng& rng,
+                                           Route& out) const {
+  (void)net;
+  const int direct = oracle.distance(src, dst);
+  if (direct < 0 || direct + 1 > Route::kMaxLen) return;  // no usable path
+  const auto row = g.neighbors(src);
+  int mid = -1;
+  for (int tries = 0; tries < 8 && row.size() != 0; ++tries) {
+    const int cand = row[rng.below(row.size())];
+    if (cand != dst && oracle.distance(cand, dst) >= 0 &&
+        oracle.distance(cand, dst) + 2 <= Route::kMaxLen) {
+      mid = cand;
+      break;
+    }
+  }
+  if (mid < 0) {
+    oracle.sample_min_path(g, src, dst, rng, out);
+    return;
+  }
+  out.push(src);
+  out.push(mid);
+  oracle.sample_min_path(g, mid, dst, rng, out);
+}
+
+void UgalRouting::route_degraded(const Network& net, const graph::Graph& g,
+                                 const DistanceOracle& oracle, int src,
+                                 int dst, util::Rng& rng, Route& out) const {
+  // Same decision rule as route(), but paths come from the degraded
+  // graph: UGAL keeps adapting around dead links instead of replaying
+  // stale tables.
+  const int direct = oracle.distance(src, dst);
+  if (direct < 0 || direct + 1 > Route::kMaxLen) return;  // no usable path
+  Route minimal;
+  oracle.sample_min_path(g, src, dst, rng, minimal);
+  if (minimal.len < 2) {
+    out = minimal;
+    return;
+  }
+  if (threshold_ > 0.0 &&
+      net.first_hop_occupancy(src, minimal.hops[1]) <= threshold_) {
+    out = minimal;
+    return;
+  }
+  Route detour;
+  if (compact_) {
+    CompactValiantRouting(g, oracle)
+        .route_degraded(net, g, oracle, src, dst, rng, detour);
+  } else {
+    ValiantRouting(g, oracle)
+        .route_degraded(net, g, oracle, src, dst, rng, detour);
+  }
+  if (detour.len < 2) {
+    out = minimal;
+    return;
+  }
+  const std::int64_t min_cost =
+      static_cast<std::int64_t>(net.out_queue_flits(src, minimal.hops[1])) *
+      (minimal.len - 1);
+  const std::int64_t detour_cost =
+      static_cast<std::int64_t>(net.out_queue_flits(src, detour.hops[1])) *
+      (detour.len - 1);
+  out = min_cost <= detour_cost ? minimal : detour;
+}
+
 void FatTreeNcaRouting::route(const Network& net, int src, int dst,
                               util::Rng& rng, Route& out) const {
   (void)net;

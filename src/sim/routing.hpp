@@ -50,6 +50,19 @@ class RoutingAlgorithm {
   virtual int max_hops() const = 0;
   virtual void route(const Network& net, int src, int dst, util::Rng& rng,
                      Route& out) const = 0;
+  /// Routing on a live-links-only view of the network (runtime faults).
+  /// `g`/`oracle` describe the degraded graph; implementations that can
+  /// should path on them and leave `out` empty when dst is unreachable.
+  /// The default keeps the intact tables (stale routes — the caller
+  /// rejection-samples against dead links), which is how MIN ends up
+  /// reporting unreachable pairs instead of adapting.
+  virtual void route_degraded(const Network& net, const graph::Graph& g,
+                              const DistanceOracle& oracle, int src, int dst,
+                              util::Rng& rng, Route& out) const {
+    (void)g;
+    (void)oracle;
+    route(net, src, dst, rng, out);
+  }
 };
 
 /// Uniformly sampled shortest path.
@@ -77,6 +90,9 @@ class ValiantRouting final : public RoutingAlgorithm {
   int max_hops() const override { return 2 * std::max(1, oracle_.diameter()); }
   void route(const Network& net, int src, int dst, util::Rng& rng,
              Route& out) const override;
+  void route_degraded(const Network& net, const graph::Graph& g,
+                      const DistanceOracle& oracle, int src, int dst,
+                      util::Rng& rng, Route& out) const override;
 
  private:
   const graph::Graph& graph_;
@@ -93,6 +109,9 @@ class CompactValiantRouting final : public RoutingAlgorithm {
   int max_hops() const override { return std::max(1, oracle_.diameter()) + 1; }
   void route(const Network& net, int src, int dst, util::Rng& rng,
              Route& out) const override;
+  void route_degraded(const Network& net, const graph::Graph& g,
+                      const DistanceOracle& oracle, int src, int dst,
+                      util::Rng& rng, Route& out) const override;
 
  private:
   const graph::Graph& graph_;
@@ -117,6 +136,9 @@ class UgalRouting final : public RoutingAlgorithm {
   }
   void route(const Network& net, int src, int dst, util::Rng& rng,
              Route& out) const override;
+  void route_degraded(const Network& net, const graph::Graph& g,
+                      const DistanceOracle& oracle, int src, int dst,
+                      util::Rng& rng, Route& out) const override;
 
  private:
   const graph::Graph& graph_;

@@ -1,0 +1,308 @@
+// Live fault injection: FailureSchedule compilation, mid-run link/router
+// kills, graceful degradation accounting (drop vs reinject policies,
+// reroutes, reconvergence), the progress watchdog, and the apply_failures
+// edge cases (duplicate links, isolation == explicit router kill).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hpp"
+#include "exp/scenario.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace pf;
+
+sim::SimConfig small_config() {
+  sim::SimConfig config;
+  config.warmup_cycles = 100;
+  config.measure_cycles = 200;
+  config.drain_cycles = 800;
+  config.seed = 7;
+  return config;
+}
+
+exp::RunRecord run_case(const exp::ScenarioSpec& spec, double load = 0.3) {
+  return exp::run_sweep(exp::ScenarioRegistry::shared().make(spec), {load});
+}
+
+/// The two global links that tie dragonfly(2,1,p) group 0 = {0, 1} to the
+/// rest of the network; killing both splits the graph without isolating
+/// any router.
+std::vector<exp::FailureSchedule::Event> dragonfly_group_cut(
+    std::int64_t at) {
+  const exp::NetSetup setup = exp::make_dragonfly_setup(2, 1, 2, "df");
+  std::vector<exp::FailureSchedule::Event> cut;
+  for (const int u : {0, 1}) {
+    const auto row = setup.graph.neighbors(u);
+    for (std::size_t k = 0; k < static_cast<std::size_t>(row.size()); ++k) {
+      const std::int32_t v = row[k];
+      if (v <= 1) continue;
+      exp::FailureSchedule::Event event;
+      event.kind = "link_down";
+      event.at = at;
+      event.link = {static_cast<std::int32_t>(u), v};
+      cut.push_back(event);
+    }
+  }
+  return cut;
+}
+
+// ---- FailureSchedule::compile --------------------------------------------
+
+TEST(FailureSchedule, CompileValidatesAgainstTheGraph) {
+  const graph::Graph ring =
+      graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+
+  exp::FailureSchedule empty;
+  EXPECT_TRUE(empty.compile(ring).empty());
+
+  exp::FailureSchedule bad_link;
+  bad_link.events.push_back({"link_down", 10, {0, 2}, -1});  // chord: no edge
+  EXPECT_THROW(bad_link.compile(ring), std::invalid_argument);
+
+  exp::FailureSchedule bad_router;
+  bad_router.events.push_back({"router_down", 10, {-1, -1}, 9});
+  EXPECT_THROW(bad_router.compile(ring), std::invalid_argument);
+
+  exp::FailureSchedule bad_kind;
+  bad_kind.events.push_back({"link_sideways", 10, {0, 1}, -1});
+  EXPECT_THROW(bad_kind.compile(ring), std::invalid_argument);
+
+  exp::FailureSchedule bad_policy;
+  bad_policy.policy = "bogus";
+  bad_policy.events.push_back({"link_down", 10, {0, 1}, -1});
+  EXPECT_THROW(bad_policy.compile(ring), std::invalid_argument);
+}
+
+TEST(FailureSchedule, FlapsExpandDeterministically) {
+  const graph::Graph ring =
+      graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+
+  exp::FailureSchedule schedule;
+  exp::FailureSchedule::Flap flap;
+  flap.rate = 0.5;  // 2 of the 4 ring links
+  flap.seed = 99;
+  flap.down_at = 10;
+  flap.up_after = 5;
+  flap.period = 20;
+  flap.repeats = 2;
+  schedule.flaps.push_back(flap);
+
+  const sim::FaultTimeline timeline = schedule.compile(ring);
+  // 2 links x 2 repeats x (down + up), sorted by cycle.
+  ASSERT_EQ(timeline.events.size(), 8u);
+  for (std::size_t i = 1; i < timeline.events.size(); ++i) {
+    EXPECT_LE(timeline.events[i - 1].cycle, timeline.events[i].cycle);
+  }
+  // Same seed -> same expansion, event for event.
+  const sim::FaultTimeline again = schedule.compile(ring);
+  ASSERT_EQ(again.events.size(), timeline.events.size());
+  for (std::size_t i = 0; i < timeline.events.size(); ++i) {
+    EXPECT_EQ(again.events[i].cycle, timeline.events[i].cycle);
+    EXPECT_EQ(again.events[i].u, timeline.events[i].u);
+    EXPECT_EQ(again.events[i].v, timeline.events[i].v);
+  }
+  EXPECT_FALSE(schedule.canonical().empty());
+  EXPECT_NE(schedule.canonical().find("flap"), std::string::npos);
+}
+
+// ---- live injection ------------------------------------------------------
+
+TEST(LiveFaults, NeverFiringTimelineIsBitIdentical) {
+  // A timeline whose only event lies beyond the end of the run arms the
+  // whole fault path (per-cycle checks, route vetting) but never changes
+  // the topology: every statistic must match the plain run bit for bit.
+  exp::ScenarioSpec plain;
+  plain.topology = "pf:q=5,p=3";
+  plain.routing = "UGALPF";
+  plain.config = small_config();
+  const exp::RunRecord baseline = run_case(plain);
+
+  const auto setup = exp::ScenarioRegistry::shared().topology("pf:q=5,p=3");
+  exp::ScenarioSpec armed = plain;
+  armed.schedule.events.push_back(
+      {"link_down", 1000000, {0, setup->graph.neighbors(0)[0]}, -1});
+  const exp::RunRecord shadowed = run_case(armed);
+
+  ASSERT_EQ(shadowed.points.size(), 1u);
+  const exp::RunPoint& b = baseline.points[0];
+  const exp::RunPoint& s = shadowed.points[0];
+  EXPECT_EQ(s.accepted, b.accepted);
+  EXPECT_EQ(s.avg_latency, b.avg_latency);
+  EXPECT_EQ(s.p99_latency, b.p99_latency);
+  EXPECT_EQ(s.mean_hops, b.mean_hops);
+  EXPECT_EQ(s.cycles, b.cycles);
+  // The fault path accounts (all zero) and the unfired event reads -1.
+  EXPECT_TRUE(s.has_degradation);
+  EXPECT_EQ(s.dropped, 0);
+  EXPECT_EQ(s.rerouted, 0);
+  EXPECT_EQ(s.unreachable_dropped, 0);
+  ASSERT_EQ(s.reconvergence.size(), 1u);
+  EXPECT_EQ(s.reconvergence[0], -1);
+}
+
+TEST(LiveFaults, MinRecordsUnreachableDropsOnPartition) {
+  // Splitting a dragonfly group off mid-run under MIN + drop policy:
+  // cross-partition packets are dropped and accounted, the drain stays
+  // bounded, and the point still completes.
+  exp::ScenarioSpec spec;
+  spec.topology = "df:a=2,h=1,p=2";
+  spec.routing = "MIN";
+  spec.config = small_config();
+  spec.schedule.events = dragonfly_group_cut(150);
+  const exp::RunRecord record = run_case(spec);
+
+  ASSERT_EQ(record.points.size(), 1u);
+  const exp::RunPoint& point = record.points[0];
+  EXPECT_TRUE(point.has_degradation);
+  EXPECT_GT(point.unreachable_dropped, 0);
+  EXPECT_GT(point.unreachable_pairs, 0);
+  EXPECT_FALSE(point.stalled);
+  EXPECT_LE(point.cycles, 100 + 200 + 800);
+}
+
+TEST(LiveFaults, AdaptiveRoutingRidesOutALostLink) {
+  // UGALPF re-picks paths on the degraded graph: one dead link must not
+  // cost a single packet under the reinject policy.
+  const auto setup = exp::ScenarioRegistry::shared().topology("pf:q=5,p=3");
+  exp::ScenarioSpec spec;
+  spec.topology = "pf:q=5,p=3";
+  spec.routing = "UGALPF";
+  spec.config = small_config();
+  spec.schedule.policy = "reinject";
+  spec.schedule.events.push_back(
+      {"link_down", 150, {0, setup->graph.neighbors(0)[0]}, -1});
+  const exp::RunRecord record = run_case(spec);
+
+  ASSERT_EQ(record.points.size(), 1u);
+  const exp::RunPoint& point = record.points[0];
+  EXPECT_TRUE(record.status.empty());
+  EXPECT_FALSE(point.stalled);
+  EXPECT_EQ(point.dropped, 0);
+  EXPECT_EQ(point.unreachable_dropped, 0);
+  EXPECT_GT(point.accepted, 0.25);
+  // PolarFly shrugs off one link: throughput recovers within the band.
+  ASSERT_EQ(point.reconvergence.size(), 1u);
+  EXPECT_GE(point.reconvergence[0], 0);
+}
+
+TEST(LiveFaults, WatchdogTerminatesStalledDrain) {
+  // Reinject policy + a permanent partition livelocks the drain: the
+  // stranded packets can never route. The watchdog must terminate the
+  // point in bounded time with an explicit stalled status instead of
+  // burning the full 20000-cycle drain.
+  exp::ScenarioSpec spec;
+  spec.topology = "df:a=2,h=1,p=2";
+  spec.routing = "MIN";
+  spec.config = small_config();
+  spec.config.drain_cycles = 20000;
+  spec.config.stall_cycles = 150;
+  spec.schedule.policy = "reinject";
+  spec.schedule.events = dragonfly_group_cut(150);
+  const exp::RunRecord record = run_case(spec);
+
+  ASSERT_EQ(record.points.size(), 1u);
+  EXPECT_TRUE(record.points[0].stalled);
+  EXPECT_EQ(record.status, "stalled");
+  EXPECT_LT(record.points[0].cycles, 2000);
+}
+
+TEST(LiveFaults, LinkUpHealsAReinjectPartition) {
+  // The same partition, but the links come back: stranded packets are
+  // reinjected and delivered, so the drain completes without a stall and
+  // both down events report a reconvergence time.
+  exp::ScenarioSpec spec;
+  spec.topology = "df:a=2,h=1,p=2";
+  spec.routing = "MIN";
+  spec.config = small_config();
+  spec.config.drain_cycles = 20000;
+  spec.config.stall_cycles = 600;
+  spec.schedule.policy = "reinject";
+  spec.schedule.events = dragonfly_group_cut(150);
+  for (auto event : dragonfly_group_cut(400)) {
+    event.kind = "link_up";
+    spec.schedule.events.push_back(event);
+  }
+  const exp::RunRecord record = run_case(spec);
+
+  ASSERT_EQ(record.points.size(), 1u);
+  const exp::RunPoint& point = record.points[0];
+  EXPECT_TRUE(record.status.empty());
+  EXPECT_FALSE(point.stalled);
+  EXPECT_EQ(point.dropped, 0);
+  EXPECT_EQ(point.unreachable_dropped, 0);
+  EXPECT_GT(point.reinjected, 0);
+  EXPECT_GT(point.unreachable_pairs, 0);  // pairs seen stranded, not lost
+  ASSERT_EQ(point.reconvergence.size(), 2u);
+  EXPECT_GE(point.reconvergence[0], 0);
+  EXPECT_GE(point.reconvergence[1], 0);
+}
+
+// ---- apply_failures edge cases -------------------------------------------
+
+TEST(ApplyFailures, DuplicateExplicitLinksCollapse) {
+  const auto setup = exp::ScenarioRegistry::shared().topology("pf:q=5,p=3");
+  const graph::Graph& g = setup->graph;
+  const std::int32_t n0 = g.neighbors(0)[0];
+
+  exp::FailureSpec once;
+  once.links = {{0, n0}};
+  exp::FailureSpec thrice;  // duplicated and direction-flipped
+  thrice.links = {{0, n0}, {n0, 0}, {0, n0}};
+
+  const graph::Graph a = exp::apply_failures(g, once);
+  const graph::Graph b = exp::apply_failures(g, thrice);
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  EXPECT_EQ(a.num_edges(), g.num_edges() - 1);
+}
+
+TEST(ApplyFailures, IsolationMatchesExplicitRouterKill) {
+  // Killing every link of router 0 must behave exactly like routers=[0]:
+  // same damaged graph, same dead-router marks — and through the
+  // registry, the same endpoint placement and the same simulation.
+  const auto setup = exp::ScenarioRegistry::shared().topology("pf:q=5,p=3");
+  const graph::Graph& g = setup->graph;
+
+  exp::FailureSpec by_links;
+  const auto row = g.neighbors(0);
+  for (std::size_t k = 0; k < static_cast<std::size_t>(row.size()); ++k) {
+    by_links.links.push_back({0, row[k]});
+  }
+  exp::FailureSpec by_router;
+  by_router.routers = {0};
+
+  std::vector<char> dead_links, dead_router;
+  const graph::Graph a = exp::apply_failures(g, by_links, &dead_links);
+  const graph::Graph b = exp::apply_failures(g, by_router, &dead_router);
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  EXPECT_EQ(dead_links, dead_router);
+  ASSERT_FALSE(dead_links.empty());
+  EXPECT_TRUE(dead_links[0]);
+
+  exp::ScenarioSpec spec_links, spec_router;
+  spec_links.topology = spec_router.topology = "pf:q=5,p=3";
+  spec_links.config = spec_router.config = small_config();
+  spec_links.failure = by_links;
+  spec_router.failure = by_router;
+  const exp::Scenario via_links =
+      exp::ScenarioRegistry::shared().make(spec_links);
+  const exp::Scenario via_router =
+      exp::ScenarioRegistry::shared().make(spec_router);
+  EXPECT_EQ(via_links.setup->endpoints, via_router.setup->endpoints);
+  EXPECT_EQ(via_links.setup->endpoints[0], 0);  // isolated router retired
+
+  const exp::RunRecord ran_links = exp::run_sweep(via_links, {0.3});
+  const exp::RunRecord ran_router = exp::run_sweep(via_router, {0.3});
+  ASSERT_EQ(ran_links.points.size(), 1u);
+  EXPECT_EQ(ran_links.points[0].accepted, ran_router.points[0].accepted);
+  EXPECT_EQ(ran_links.points[0].avg_latency,
+            ran_router.points[0].avg_latency);
+  EXPECT_EQ(ran_links.points[0].mean_hops, ran_router.points[0].mean_hops);
+}
+
+}  // namespace

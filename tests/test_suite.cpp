@@ -434,9 +434,10 @@ TEST(SuiteRunner, SkipsDisconnectedDamage) {
   EXPECT_EQ(runner.run(exp::parse_suite(doc), ran), 0u);
   EXPECT_EQ(ran.records().size(), 1u);
 
-  // ... but stripping every *link* off router 0 strands a router that
-  // still hosts endpoints: the runner must skip the case (no oracle
-  // route exists) and report it via the return count.
+  // ... and stripping every *link* off router 0 is handled identically:
+  // the damage pass detects the isolation and retires the router —
+  // endpoints included — exactly like an explicit routers=[0] kill, so
+  // the rest of the network still runs.
   const core::PolarFly pf(5);
   std::string links;
   for (const std::int32_t u : pf.graph().neighbors(0)) {
@@ -448,8 +449,38 @@ TEST(SuiteRunner, SkipsDisconnectedDamage) {
         " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200},"
         " \"failures\": [{\"links\": [" + links + "]}]}]}";
   exp::ResultLog log;
-  EXPECT_EQ(runner.run(exp::parse_suite(doc), log), 1u);
-  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(runner.run(exp::parse_suite(doc), log), 0u);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_TRUE(log.records()[0].status.empty());
+
+  // A genuinely split network cannot run: cut a dragonfly group off from
+  // every other group (no router is isolated, both sides keep endpoint
+  // routers). The case is skipped, reported via the return count, AND
+  // still emits a placeholder record carrying its identity and status so
+  // key/diff gates see every case.
+  const exp::NetSetup df = exp::make_dragonfly_setup(2, 1, 2, "df");
+  std::string cut;
+  for (const int u : {0, 1}) {
+    for (const std::int32_t v : df.graph.neighbors(u)) {
+      if (v <= 1) continue;  // keep the intra-group link
+      if (!cut.empty()) cut += ", ";
+      cut += "[" + std::to_string(u) + ", " + std::to_string(v) + "]";
+    }
+  }
+  doc = "{\"schema\": \"polarfly-suite/1\", \"scenarios\": ["
+        "{\"name\": \"split\", \"topology\": \"df:a=2,h=1,p=2\","
+        " \"loads\": [0.2],"
+        " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200},"
+        " \"failures\": [{\"links\": [" + cut + "]}]}]}";
+  exp::ResultLog skipped;
+  EXPECT_EQ(runner.run(exp::parse_suite(doc), skipped), 1u);
+  ASSERT_EQ(skipped.records().size(), 1u);
+  EXPECT_EQ(skipped.records()[0].status, "skipped-disconnected");
+  EXPECT_EQ(skipped.records()[0].label, "split");
+  // The placeholder keeps the case's load-grid identity (and key).
+  ASSERT_EQ(skipped.records()[0].points.size(), 1u);
+  EXPECT_EQ(skipped.records()[0].points[0].offered, 0.2);
+  EXPECT_EQ(skipped.records()[0].points[0].cycles, 0);
 }
 
 TEST(SuiteRunner, ParallelSchedulerIsBitIdenticalToSerial) {
@@ -510,32 +541,137 @@ TEST(SuiteRunner, ParallelSchedulerIsBitIdenticalToSerial) {
 }
 
 TEST(SuiteRunner, ParallelSchedulerSkipsAndKeepsOrder) {
-  // Case 1 strands router 0's endpoints (skip); cases 0 and 2 run. The
-  // parallel scheduler must keep document order and report one skip.
-  const core::PolarFly pf(5);
-  std::string links;
-  for (const std::int32_t u : pf.graph().neighbors(0)) {
-    if (!links.empty()) links += ", ";
-    links += "[0, " + std::to_string(u) + "]";
+  // Case 1 disconnects a whole dragonfly group (skip); cases 0 and 2
+  // run. The parallel scheduler must keep document order, report one
+  // skip, and emit the skipped case's placeholder in its slot.
+  const exp::NetSetup df = exp::make_dragonfly_setup(2, 1, 2, "df");
+  std::string cut;
+  for (const int u : {0, 1}) {
+    for (const std::int32_t v : df.graph.neighbors(u)) {
+      if (v <= 1) continue;
+      if (!cut.empty()) cut += ", ";
+      cut += "[" + std::to_string(u) + ", " + std::to_string(v) + "]";
+    }
   }
   const std::string doc =
       "{\"schema\": \"polarfly-suite/1\", \"scenarios\": ["
       "{\"name\": \"first\", \"topology\": \"pf:q=5,p=3\","
       " \"loads\": [0.2],"
       " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200}},"
-      "{\"name\": \"stranded\", \"topology\": \"pf:q=5,p=3\","
+      "{\"name\": \"stranded\", \"topology\": \"df:a=2,h=1,p=2\","
       " \"loads\": [0.2],"
       " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200},"
-      " \"failures\": [{\"links\": [" + links + "]}]},"
+      " \"failures\": [{\"links\": [" + cut + "]}]},"
       "{\"name\": \"last\", \"topology\": \"pf:q=5,p=3\","
       " \"loads\": [0.2, 0.4],"
       " \"config\": {\"warmup\": 50, \"measure\": 100, \"drain\": 200}}]}";
   exp::ResultLog log;
   exp::SuiteRunner runner;  // default: parallel scheduler
   EXPECT_EQ(runner.run(exp::parse_suite(doc), log), 1u);
-  ASSERT_EQ(log.records().size(), 2u);
+  ASSERT_EQ(log.records().size(), 3u);
   EXPECT_EQ(log.records()[0].label, "first");
-  EXPECT_EQ(log.records()[1].label, "last");
+  EXPECT_EQ(log.records()[1].label, "stranded");
+  EXPECT_EQ(log.records()[1].status, "skipped-disconnected");
+  EXPECT_EQ(log.records()[2].label, "last");
+}
+
+TEST(SuiteParse, SchedulesExpandAsAnAxis) {
+  // "schedules" is a first-class expansion axis like "failures": one
+  // case per schedule, labels discriminated by the canonical schedule
+  // name ("static" for the empty schedule), with the per-case timeout
+  // and the watchdog config key carried through.
+  const char* doc = R"({
+    "schema": "polarfly-suite/1",
+    "scenarios": [
+      {"name": "s", "topology": "pf:q=5,p=3", "loads": [0.2],
+       "timeout_seconds": 12.5,
+       "config": {"warmup": 50, "measure": 100, "drain": 200, "stall": 75},
+       "schedules": [
+         {},
+         {"name": "flap", "policy": "reinject",
+          "events": [{"at": 60, "link_down": [0, 1]}],
+          "flaps": [{"count": 2, "seed": 5, "down_at": 80,
+                     "up_after": 40}]}]}]})";
+  const exp::Suite suite = exp::parse_suite(doc);
+  ASSERT_EQ(suite.cases.size(), 2u);
+  EXPECT_EQ(suite.cases[0].spec.name, "s [static]");
+  EXPECT_TRUE(suite.cases[0].spec.schedule.empty());
+  EXPECT_EQ(suite.cases[1].spec.name, "s [flap]");
+  const exp::FailureSchedule& schedule = suite.cases[1].spec.schedule;
+  EXPECT_EQ(schedule.policy, "reinject");
+  ASSERT_EQ(schedule.events.size(), 1u);
+  EXPECT_EQ(schedule.events[0].kind, "link_down");
+  EXPECT_EQ(schedule.events[0].at, 60);
+  ASSERT_EQ(schedule.flaps.size(), 1u);
+  EXPECT_EQ(schedule.flaps[0].count, 2);
+  EXPECT_EQ(schedule.flaps[0].up_after, 40);
+  for (const auto& cs : suite.cases) {
+    EXPECT_EQ(cs.timeout_seconds, 12.5);
+    EXPECT_EQ(cs.spec.config.stall_cycles, 75);
+  }
+}
+
+TEST(SuiteParse, ScheduleSchemaViolationsNameTheOffender) {
+  const auto expect_error = [](const std::string& body,
+                               const std::string& needle) {
+    const std::string doc =
+        "{\"schema\": \"polarfly-suite/1\", \"scenarios\": "
+        "[{\"topology\": \"pf:q=5,p=3\", \"loads\": [0.2], " + body + "}]}";
+    try {
+      exp::parse_suite(doc);
+      FAIL() << "expected std::invalid_argument for " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("\"schedules\": [{\"typo\": 1}]", "typo");
+  expect_error("\"schedules\": [{\"policy\": \"explode\"}]",
+               "must be 'drop' or 'reinject'");
+  expect_error("\"schedules\": [{\"events\": [{\"at\": 5}]}]",
+               "link_down, link_up or router_down");
+  expect_error("\"schedules\": [{\"events\": [{\"at\": 5, "
+               "\"link_down\": [0, 1], \"router_down\": 2}]}]",
+               "more than one action");
+  expect_error("\"schedules\": [{\"events\": [{\"at\": -1, "
+               "\"link_down\": [0, 1]}]}]",
+               "at");
+  expect_error("\"timeout_seconds\": -3", ">= 0");
+}
+
+TEST(SuiteRunner, ResumeReplaysTheJournalBitIdentically) {
+  // The library-level resume contract behind `pf_sim suite --resume`:
+  // records already present in the checkpoint journal are replayed into
+  // their document slots without re-simulation, and the assembled log is
+  // bit-identical to the uninterrupted run.
+  const exp::Suite suite = exp::load_suite(std::string(PF_SUITE_DIR) +
+                                           "/smoke.json");
+  exp::ResultLog full;
+  exp::SuiteRunner().run(suite, full);
+  ASSERT_EQ(full.records().size(), suite.cases.size());
+
+  // A journal holding the first three records, as if killed mid-suite.
+  const std::vector<exp::RunRecord> journal(full.records().begin(),
+                                            full.records().begin() + 3);
+  exp::ScheduleOptions options;
+  options.resume = &journal;
+  exp::ResultLog resumed;
+  exp::SuiteRunner(exp::ScenarioRegistry::shared(), options)
+      .run(suite, resumed);
+  ASSERT_EQ(resumed.records().size(), full.records().size());
+
+  exp::DiffOptions exact;
+  exact.rtol = 0.0;
+  exact.atol = 0.0;
+  exp::RunDocument full_doc, resumed_doc;
+  full_doc.records = full.records();
+  resumed_doc.records = resumed.records();
+  const exp::DiffReport report =
+      exp::diff_documents(full_doc, resumed_doc, exact);
+  EXPECT_TRUE(report.clean())
+      << (report.drifts.empty() ? "record set mismatch"
+                                : report.drifts[0].field);
+  EXPECT_EQ(report.records_matched, full.records().size());
 }
 
 TEST(Results, RecordKeyIsStableAcrossReruns) {
