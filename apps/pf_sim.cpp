@@ -10,11 +10,15 @@
 //          [--ugal-threshold X] [--json PATH] [--csv PATH]
 //   pf_sim ... --saturation-search [--sat-lo 0.05] [--sat-hi 1.0]
 //          [--sat-tol 0.02] [--sat-iters 10]
+//   pf_sim ... --telemetry [--telemetry-window C] [--trace PATH
+//          [--trace-sample F] [--trace-seed S]]
 //   pf_sim suite <file.json> [--json PATH|-] [--quiet] [--serial]
 //          [--case-workers N] [--checkpoint PATH [--resume]]
+//          [--progress [SECS]] [--telemetry]
 //   pf_sim keys <records.json>
 //   pf_sim diff <baseline.json> <candidate.json> [--rtol R] [--atol A]
 //          [--junit PATH]
+//   pf_sim report <records.json> [--top N]
 //
 // Patterns: uniform | tornado | randperm | perm1hop | perm2hop | bitcomp
 // Routing:  MIN | VAL | CVAL | UGAL | UGALPF | NCA (fat tree) | ALG (PF)
@@ -59,7 +63,26 @@ void usage_suite(std::FILE* f) {
       "                   (one JSON record per line) as the run progresses\n"
       "  --resume         skip cases already present in the --checkpoint\n"
       "                   journal; the final document is bit-identical to\n"
-      "                   an uninterrupted run\n",
+      "                   an uninterrupted run\n"
+      "  --progress [SECS] heartbeat on stderr every SECS (default 2)\n"
+      "                   seconds: finished/total cases, elapsed, ETA —\n"
+      "                   plus the realized per-case schedule at the end\n"
+      "  --telemetry      force-enable congestion/latency telemetry on\n"
+      "                   every case (suites can also set it per case via\n"
+      "                   config.telemetry)\n",
+      f);
+}
+
+void usage_report(std::FILE* f) {
+  std::fputs(
+      "usage: pf_sim report <records.json> [--top N]\n"
+      "  render a polarfly-run/1 (or bench-aggregate) document for "
+      "humans:\n"
+      "  per-point latency percentiles (p50/p99/p999/max), link "
+      "utilization\n"
+      "  and peak backlog from each record's telemetry block, plus the\n"
+      "  top-N hottest links (default 8). Records without telemetry fall\n"
+      "  back to the plain sweep table.\n",
       f);
 }
 
@@ -94,6 +117,8 @@ int usage() {
       "       print the record keys of a polarfly-run/1 document\n"
       "pf_sim diff <baseline.json> <candidate.json> [--rtol R] [--atol A]\n"
       "       tolerance-aware trajectory comparison of two documents\n"
+      "pf_sim report <records.json> [--top N]\n"
+      "       render percentile tables and hot links from telemetry\n"
       "\n"
       "options:\n"
       "  --endpoints N    endpoints per router (default: radix/2 balanced)\n"
@@ -109,6 +134,13 @@ int usage() {
       "  --saturation-search  bisect the accepted-load plateau instead of\n"
       "                   a fixed grid [--sat-lo L] [--sat-hi H]\n"
       "                   [--sat-tol T] [--sat-iters N]\n"
+      "  --telemetry      per-point latency/hop histograms with exact\n"
+      "                   percentiles, per-link utilization series, VC\n"
+      "                   occupancy and peak backlog (off by default;\n"
+      "                   [--telemetry-window C] sets the series window)\n"
+      "  --trace PATH     sampled packet event trace as JSONL (implies\n"
+      "                   --telemetry) [--trace-sample F (default 1.0)]\n"
+      "                   [--trace-seed S]\n"
       "  --check-deadlock verify the routing's channel-dependency graph\n"
       "                   is acyclic instead of simulating\n"
       "                   [--classes N] [--samples S]\n"
@@ -155,9 +187,10 @@ bool reject_stray_arguments(const util::CliArgs& args,
   return stray;
 }
 
-/// Reads and parses one polarfly-run/1 document, or exits with a clear
-/// message plus the subcommand's usage (missing files name the operand
-/// they were meant to satisfy).
+/// Reads and parses one records-bearing document (polarfly-run/1 or a
+/// polarfly-bench-aggregate/2 trajectory, sniffed by schema), or exits
+/// with a clear message plus the subcommand's usage (missing files name
+/// the operand they were meant to satisfy).
 exp::RunDocument load_run_document(const std::string& path,
                                    const char* subcommand,
                                    void (*usage_fn)(std::FILE*)) {
@@ -170,7 +203,7 @@ exp::RunDocument load_run_document(const std::string& path,
     std::exit(2);
   }
   try {
-    return exp::parse_run_document(text);
+    return exp::parse_records_document(text);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pf_sim %s: %s: %s\n", subcommand, path.c_str(),
                  e.what());
@@ -214,6 +247,18 @@ int run_suite(const util::CliArgs& args) {
   schedule.parallel = !args.has("serial");
   schedule.workers_per_case =
       static_cast<int>(args.integer_or("case-workers", 0));
+  // Bare --progress takes the default cadence; --progress SECS tunes it.
+  if (args.has("progress")) {
+    schedule.progress_seconds = args.real_or("progress", 2.0);
+    if (schedule.progress_seconds <= 0.0) schedule.progress_seconds = 2.0;
+  }
+  // --telemetry lights up every case, on top of whatever the suite's own
+  // config.telemetry blocks say (their window/top-k knobs are kept).
+  if (args.has("telemetry")) {
+    for (exp::SuiteCase& cs : suite.cases) {
+      cs.spec.config.telemetry.enabled = true;
+    }
+  }
 
   const std::string checkpoint = args.str_or("checkpoint", "");
   const bool resume = args.has("resume");
@@ -345,15 +390,32 @@ int run_diff(const util::CliArgs& args) {
   return exp::print_diff_report(report, stdout) ? 0 : 1;
 }
 
+/// `pf_sim report <records.json>`: human-readable rendering of a
+/// document's telemetry — percentile tables, hot links, phase timings.
+int run_report(const util::CliArgs& args) {
+  const std::string path =
+      operand_or_usage(args, 0, "records file", "report", usage_report);
+  const int top = static_cast<int>(args.integer_or("top", 8));
+  if (reject_stray_arguments(args, "report")) return 2;
+  const exp::RunDocument doc =
+      load_run_document(path, "report", usage_report);
+  for (const auto& record : doc.records) {
+    exp::print_report(record, top);
+  }
+  std::printf("%zu record(s)\n", doc.records.size());
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const util::CliArgs args = util::CliArgs::parse(argc, argv);
   if (args.command() == "suite" || args.command() == "keys" ||
-      args.command() == "diff") {
+      args.command() == "diff" || args.command() == "report") {
     // A malformed option value (e.g. --rtol bogus) is a bad invocation
     // (exit 2), not a drift/failure result (exit 1).
     try {
       if (args.command() == "suite") return run_suite(args);
       if (args.command() == "keys") return run_keys(args);
+      if (args.command() == "report") return run_report(args);
       return run_diff(args);
     } catch (const util::CliError& e) {
       std::fprintf(stderr, "pf_sim %s: %s\n", args.command().c_str(),
@@ -364,11 +426,12 @@ int run(int argc, char** argv) {
   if (!args.command().empty()) {
     std::fprintf(stderr,
                  "pf_sim: unknown subcommand '%s' (known: suite, keys, "
-                 "diff)\n",
+                 "diff, report)\n",
                  args.command().c_str());
     usage_suite(stderr);
     usage_keys(stderr);
     usage_diff(stderr);
+    usage_report(stderr);
     return 2;
   }
   if (!args.positionals().empty()) {
@@ -394,6 +457,29 @@ int run(int argc, char** argv) {
   config.measure_cycles = static_cast<int>(args.integer_or("measure", 4000));
   config.drain_cycles = static_cast<int>(args.integer_or("drain", 8000));
   config.seed = static_cast<std::uint64_t>(args.integer_or("seed", 42));
+
+  // Telemetry is strictly additive: the simulated trajectory with it on
+  // is bit-identical to a plain run. --trace implies --telemetry (the
+  // sampler lives in the collector). The sink must outlive the sweep.
+  std::unique_ptr<sim::TraceSink> trace_sink;
+  if (args.has("telemetry") || args.has("trace")) {
+    config.telemetry.enabled = true;
+    config.telemetry.window_cycles = static_cast<int>(
+        args.integer_or("telemetry-window", config.telemetry.window_cycles));
+  }
+  const std::string trace_path = args.str_or("trace", "");
+  if (!trace_path.empty()) {
+    trace_sink = sim::TraceSink::open_file(trace_path);
+    if (trace_sink == nullptr) {
+      std::fprintf(stderr, "pf_sim: cannot write trace file '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    config.telemetry.trace = trace_sink.get();
+    config.telemetry.trace_sample = args.real_or("trace-sample", 1.0);
+    config.telemetry.trace_seed =
+        static_cast<std::uint64_t>(args.integer_or("trace-seed", 0));
+  }
 
   exp::RoutingOptions routing_options;
   const std::string routing_kind = args.str_or("routing", "MIN");
@@ -473,7 +559,11 @@ int run(int argc, char** argv) {
   const std::string pattern_kind = args.str_or("pattern", "uniform");
   if (exp::pattern_uses_seed(pattern_kind)) run.pattern_seed = config.seed;
 
-  exp::print_run(run);
+  if (config.telemetry.enabled) {
+    exp::print_report(run, config.telemetry.top_links);
+  } else {
+    exp::print_run(run);
+  }
   std::printf(
       "perf: %.0f sim cycles/s, mean hops %.3f, peak VC occupancy %d\n",
       run.perf.cycles_per_sec, run.perf.mean_hop_count,

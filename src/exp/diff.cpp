@@ -67,6 +67,83 @@ class RecordComparator {
   const std::string& key_;
 };
 
+/// Telemetry histograms and series follow the degradation rule: compared
+/// only when at least one side carries the block, so legacy documents
+/// keep their historical values_compared counts. Counters, percentiles
+/// and histogram buckets are integers (exact); utilizations and
+/// occupancy series are rates (tolerance-aware).
+void compare_point_telemetry(RecordComparator& cmp, const std::string& at,
+                             const sim::PointTelemetry& b,
+                             const sim::PointTelemetry& c) {
+  cmp.exact(at + "present", b.present ? 1 : 0, c.present ? 1 : 0);
+  cmp.exact(at + "window", b.window, c.window);
+  cmp.exact(at + "latency_p50", b.latency_p50, c.latency_p50);
+  cmp.exact(at + "latency_p99", b.latency_p99, c.latency_p99);
+  cmp.exact(at + "latency_p999", b.latency_p999, c.latency_p999);
+  cmp.exact(at + "latency_max", b.latency_max, c.latency_max);
+  const auto int_array = [&](const std::string& field,
+                             const std::vector<std::int64_t>& lhs,
+                             const std::vector<std::int64_t>& rhs) {
+    if (lhs.size() != rhs.size()) {
+      cmp.exact(field + ".count", static_cast<std::int64_t>(lhs.size()),
+                static_cast<std::int64_t>(rhs.size()));
+    }
+    const std::size_t n = std::min(lhs.size(), rhs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      cmp.exact(field + "[" + std::to_string(i) + "]", lhs[i], rhs[i]);
+    }
+  };
+  int_array(at + "latency_hist", b.latency_hist, c.latency_hist);
+  int_array(at + "hops_hist", b.hops_hist, c.hops_hist);
+  cmp.metric(at + "link_util_mean", b.link_util_mean, c.link_util_mean);
+  cmp.metric(at + "link_util_max", b.link_util_max, c.link_util_max);
+  if (b.hot_links.size() != c.hot_links.size()) {
+    cmp.exact(at + "hot_links.count",
+              static_cast<std::int64_t>(b.hot_links.size()),
+              static_cast<std::int64_t>(c.hot_links.size()));
+  }
+  const std::size_t links = std::min(b.hot_links.size(), c.hot_links.size());
+  for (std::size_t i = 0; i < links; ++i) {
+    const std::string link = at + "hot_links[" + std::to_string(i) + "].";
+    cmp.exact(link + "u", b.hot_links[i].u, c.hot_links[i].u);
+    cmp.exact(link + "v", b.hot_links[i].v, c.hot_links[i].v);
+    cmp.metric(link + "util", b.hot_links[i].util, c.hot_links[i].util);
+    const auto& bs = b.hot_links[i].series;
+    const auto& cs = c.hot_links[i].series;
+    if (bs.size() != cs.size()) {
+      cmp.exact(link + "series.count", static_cast<std::int64_t>(bs.size()),
+                static_cast<std::int64_t>(cs.size()));
+    }
+    const std::size_t windows = std::min(bs.size(), cs.size());
+    for (std::size_t w = 0; w < windows; ++w) {
+      cmp.metric(link + "series[" + std::to_string(w) + "]", bs[w], cs[w]);
+    }
+  }
+  if (b.vc_occupancy.size() != c.vc_occupancy.size()) {
+    cmp.exact(at + "vc_occupancy.count",
+              static_cast<std::int64_t>(b.vc_occupancy.size()),
+              static_cast<std::int64_t>(c.vc_occupancy.size()));
+  }
+  const std::size_t classes =
+      std::min(b.vc_occupancy.size(), c.vc_occupancy.size());
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    const std::string vc = at + "vc_occupancy[" + std::to_string(cls) + "]";
+    const auto& bv = b.vc_occupancy[cls];
+    const auto& cv = c.vc_occupancy[cls];
+    if (bv.size() != cv.size()) {
+      cmp.exact(vc + ".count", static_cast<std::int64_t>(bv.size()),
+                static_cast<std::int64_t>(cv.size()));
+    }
+    const std::size_t windows = std::min(bv.size(), cv.size());
+    for (std::size_t w = 0; w < windows; ++w) {
+      cmp.metric(vc + "[" + std::to_string(w) + "]", bv[w], cv[w]);
+    }
+  }
+  cmp.exact(at + "peak_backlog", b.peak_backlog, c.peak_backlog);
+  cmp.exact(at + "peak_backlog_router", b.peak_backlog_router,
+            c.peak_backlog_router);
+}
+
 void compare_records(const RunRecord& baseline, const RunRecord& candidate,
                      const std::string& key, const DiffOptions& options,
                      DiffReport& report) {
@@ -129,13 +206,44 @@ void compare_records(const RunRecord& baseline, const RunRecord& candidate,
                   b.reconvergence[e], c.reconvergence[e]);
       }
     }
+    if (b.telemetry.present || c.telemetry.present) {
+      compare_point_telemetry(cmp, at + "telemetry.", b.telemetry,
+                              c.telemetry);
+    }
   }
 
   cmp.metric("saturation_estimate", baseline.saturation_estimate,
              candidate.saturation_estimate);
 
-  // Deterministic perf counters only: wall_seconds and cycles_per_sec
-  // measure the machine, not the simulation, and are skipped.
+  // Record-level telemetry aggregate: integer counters only, so it is
+  // exact whenever present on either side.
+  if (baseline.telemetry.present || candidate.telemetry.present) {
+    const sim::RecordTelemetry& bt = baseline.telemetry;
+    const sim::RecordTelemetry& ct = candidate.telemetry;
+    cmp.exact("telemetry.present", bt.present ? 1 : 0, ct.present ? 1 : 0);
+    const auto int_array = [&](const std::string& field,
+                               const std::vector<std::int64_t>& lhs,
+                               const std::vector<std::int64_t>& rhs) {
+      if (lhs.size() != rhs.size()) {
+        cmp.exact(field + ".count", static_cast<std::int64_t>(lhs.size()),
+                  static_cast<std::int64_t>(rhs.size()));
+      }
+      const std::size_t n = std::min(lhs.size(), rhs.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        cmp.exact(field + "[" + std::to_string(i) + "]", lhs[i], rhs[i]);
+      }
+    };
+    int_array("telemetry.latency_hist", bt.latency_hist, ct.latency_hist);
+    int_array("telemetry.hops_hist", bt.hops_hist, ct.hops_hist);
+    cmp.exact("telemetry.latency_max", bt.latency_max, ct.latency_max);
+    cmp.exact("telemetry.peak_backlog", bt.peak_backlog, ct.peak_backlog);
+    cmp.exact("telemetry.peak_backlog_router", bt.peak_backlog_router,
+              ct.peak_backlog_router);
+  }
+
+  // Deterministic perf counters only: wall_seconds, cycles_per_sec and
+  // the phase seconds measure the machine, not the simulation, and are
+  // skipped.
   cmp.exact("perf.sim_cycles", baseline.perf.sim_cycles,
             candidate.perf.sim_cycles);
   cmp.metric("perf.mean_hop_count", baseline.perf.mean_hop_count,

@@ -10,8 +10,7 @@ namespace {
 
 /// Runs one point on `net` (already reset to the right load) and folds
 /// the network's counters into the record-level aggregates.
-RunPoint run_point(sim::Network& net, std::int64_t& hops,
-                   std::int64_t& delivered, int& peak_vc) {
+RunPoint run_point(sim::Network& net, SweepCounters& counters) {
   net.run_phases();
   RunPoint point;
   point.offered = net.offered_load();
@@ -32,9 +31,16 @@ RunPoint run_point(sim::Network& net, std::int64_t& hops,
     point.unreachable_pairs = net.unreachable_pairs();
     point.reconvergence = d.reconvergence;
   }
-  hops += net.measured_hops();
-  delivered += net.delivered_packets();
-  peak_vc = std::max(peak_vc, net.peak_vc_packets());
+  if (net.telemetry_enabled()) {
+    point.telemetry = net.collect_telemetry();
+    counters.telemetry.merge(point.telemetry);
+  }
+  counters.hops += net.measured_hops();
+  counters.delivered += net.delivered_packets();
+  counters.peak_vc = std::max(counters.peak_vc, net.peak_vc_packets());
+  counters.warmup_seconds += net.warmup_seconds();
+  counters.measure_seconds += net.measure_seconds();
+  counters.drain_seconds += net.drain_seconds();
   return point;
 }
 
@@ -80,8 +86,39 @@ void run_sweep_shard(const NetSetup& setup,
       return;
     }
     if (i != offset) net.reset(loads[i]);
-    points[i] =
-        run_point(net, counters.hops, counters.delivered, counters.peak_vc);
+    points[i] = run_point(net, counters);
+  }
+}
+
+void run_sweep_claimed(const NetSetup& setup,
+                       const sim::RoutingAlgorithm& routing,
+                       const sim::TrafficPattern& pattern,
+                       const sim::SimConfig& config,
+                       const std::vector<double>& loads,
+                       const std::function<std::size_t()>& claim,
+                       std::vector<RunPoint>& points,
+                       SweepCounters& counters, double timeout_seconds) {
+  std::size_t i = claim();
+  if (i >= loads.size()) return;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
+                   loads[i]);
+  bool first = true;
+  while (i < loads.size()) {
+    // Same progress guarantee as the strided shard: the first claimed
+    // point always runs, later ones are abandoned past the deadline
+    // (they stay claimed, left at their zero defaults — the record is
+    // stamped "timeout" either way).
+    if (!first && timeout_seconds > 0.0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      counters.timed_out = true;
+      return;
+    }
+    if (!first) net.reset(loads[i]);
+    points[i] = run_point(net, counters);
+    first = false;
+    i = claim();
   }
 }
 
@@ -101,6 +138,10 @@ void finish_sweep_record(RunRecord& record, const SweepCounters& counters,
                 static_cast<double>(counters.delivered)
           : 0.0;
   record.perf.peak_vc_occupancy = counters.peak_vc;
+  record.perf.warmup_seconds = counters.warmup_seconds;
+  record.perf.measure_seconds = counters.measure_seconds;
+  record.perf.drain_seconds = counters.drain_seconds;
+  record.telemetry = counters.telemetry;
   if (record.status.empty()) {
     if (counters.timed_out) {
       record.status = "timeout";
@@ -188,8 +229,7 @@ RunRecord saturation_search(const NetSetup& setup,
   // into it would dangle across probe() calls.
   const auto probe = [&](double load) -> RunPoint {
     net.reset(load);
-    record.points.push_back(run_point(net, counters.hops, counters.delivered,
-                                      counters.peak_vc));
+    record.points.push_back(run_point(net, counters));
     return record.points.back();
   };
   const auto stable = [tol](const RunPoint& point) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,9 @@ struct RunPoint {
   std::int64_t unreachable_pairs = 0;
   /// Per down-event reconvergence time in cycles (-1 = never recovered).
   std::vector<std::int64_t> reconvergence;
+  /// Histograms, exact percentiles and congestion series; present (and
+  /// serialized) only when the point ran with telemetry enabled.
+  sim::PointTelemetry telemetry;
 };
 
 /// Aggregate performance counters for one record.
@@ -47,6 +51,14 @@ struct PerfCounters {
   double cycles_per_sec = 0.0;   ///< sim_cycles / wall_seconds
   double mean_hop_count = 0.0;   ///< delivered-weighted over all points
   int peak_vc_occupancy = 0;     ///< deepest single VC ring, in packets
+  // Phase wall-clock breakdown, summed over the record's points (plus
+  // the case's scenario-resolution time under the suite runner). Wall-
+  // clock class like wall_seconds: serialized when nonzero, never
+  // compared by pf_sim diff.
+  double setup_seconds = 0.0;
+  double warmup_seconds = 0.0;
+  double measure_seconds = 0.0;
+  double drain_seconds = 0.0;
 };
 
 /// One sweep (or saturation search) with its provenance and counters.
@@ -63,6 +75,9 @@ struct RunRecord {
   std::uint64_t pattern_seed = 0;
   std::vector<RunPoint> points;
   PerfCounters perf;
+  /// Record-level telemetry aggregate (integer counters only, so shard
+  /// merges are order-independent); present only when telemetry ran.
+  sim::RecordTelemetry telemetry;
   /// Set by saturation_search: bisected accepted-load plateau (0 when the
   /// record came from a fixed grid; use saturation() there).
   double saturation_estimate = 0.0;
@@ -85,18 +100,30 @@ struct RunRecord {
 // each point is simulated on a Network that is either freshly built or
 // reset(), and reset is proven bit-identical to fresh construction.
 
-/// Per-shard accumulator for the record-level perf counters.
+/// Per-shard accumulator for the record-level perf counters. Every
+/// field that feeds a diffed record value merges commutatively and
+/// associatively (sums of ints, maxima), so shard merge order cannot
+/// change the record; the phase seconds are doubles but wall-clock
+/// class (never compared).
 struct SweepCounters {
   std::int64_t hops = 0;       ///< measured hops, summed over points
   std::int64_t delivered = 0;  ///< delivered packets, summed over points
   int peak_vc = 0;             ///< deepest single VC ring seen
   bool timed_out = false;      ///< a shard abandoned points on its deadline
+  sim::RecordTelemetry telemetry;  ///< merged per-point telemetry
+  double warmup_seconds = 0.0;     ///< phase wall time, summed over points
+  double measure_seconds = 0.0;
+  double drain_seconds = 0.0;
 
   SweepCounters& operator+=(const SweepCounters& other) {
     hops += other.hops;
     delivered += other.delivered;
     peak_vc = peak_vc > other.peak_vc ? peak_vc : other.peak_vc;
     timed_out = timed_out || other.timed_out;
+    telemetry.merge(other.telemetry);
+    warmup_seconds += other.warmup_seconds;
+    measure_seconds += other.measure_seconds;
+    drain_seconds += other.drain_seconds;
     return *this;
   }
 };
@@ -125,6 +152,26 @@ void run_sweep_shard(const NetSetup& setup,
                      const std::vector<double>& loads, std::size_t offset,
                      std::size_t stride, std::vector<RunPoint>& points,
                      SweepCounters& counters, double timeout_seconds = 0.0);
+
+/// Like run_sweep_shard, but the set of points this worker simulates is
+/// drawn dynamically from `claim` (typically an atomic cursor shared by
+/// every worker attached to the sweep) instead of a fixed stride —
+/// workers that join a sweep late just start claiming. `claim` returns
+/// the next unclaimed point index, or any value >= loads.size() when the
+/// sweep is exhausted. Point values stay bit-identical however claims
+/// interleave: each point runs on a Network reset to exactly that load,
+/// and every counter merges order-independently. The first claimed point
+/// always runs; later claims are abandoned once `timeout_seconds` (from
+/// this call) expires, raising counters.timed_out.
+void run_sweep_claimed(const NetSetup& setup,
+                       const sim::RoutingAlgorithm& routing,
+                       const sim::TrafficPattern& pattern,
+                       const sim::SimConfig& config,
+                       const std::vector<double>& loads,
+                       const std::function<std::size_t()>& claim,
+                       std::vector<RunPoint>& points,
+                       SweepCounters& counters,
+                       double timeout_seconds = 0.0);
 
 /// Folds the merged counters and the measured wall time into record.perf
 /// (sim_cycles is summed from the record's points) and stamps

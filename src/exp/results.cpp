@@ -18,6 +18,103 @@ double as_metric(const util::JsonValue& value) {
                          : value.as_double();
 }
 
+void write_int_array(util::JsonWriter& json, const char* key,
+                     const std::vector<std::int64_t>& values) {
+  json.key(key).begin_array();
+  for (const std::int64_t v : values) json.value(v);
+  json.end_array();
+}
+
+void write_point_telemetry(util::JsonWriter& json,
+                           const sim::PointTelemetry& t) {
+  json.key("telemetry").begin_object();
+  json.key("window").value(t.window);
+  json.key("latency_p50").value(t.latency_p50);
+  json.key("latency_p99").value(t.latency_p99);
+  json.key("latency_p999").value(t.latency_p999);
+  json.key("latency_max").value(t.latency_max);
+  write_int_array(json, "latency_hist", t.latency_hist);
+  write_int_array(json, "hops_hist", t.hops_hist);
+  json.key("link_util_mean").value(t.link_util_mean);
+  json.key("link_util_max").value(t.link_util_max);
+  json.key("hot_links").begin_array();
+  for (const sim::LinkTelemetry& link : t.hot_links) {
+    json.begin_object();
+    json.key("u").value(static_cast<std::int64_t>(link.u));
+    json.key("v").value(static_cast<std::int64_t>(link.v));
+    json.key("util").value(link.util);
+    json.key("series").begin_array();
+    for (const double u : link.series) json.value(u);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("vc_occupancy").begin_array();
+  for (const auto& series : t.vc_occupancy) {
+    json.begin_array();
+    for (const double v : series) json.value(v);
+    json.end_array();
+  }
+  json.end_array();
+  json.key("peak_backlog").value(t.peak_backlog);
+  json.key("peak_backlog_router").value(t.peak_backlog_router);
+  json.end_object();
+}
+
+sim::PointTelemetry parse_point_telemetry(const util::JsonValue& v) {
+  sim::PointTelemetry t;
+  t.present = true;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "window") t.window = static_cast<int>(value.as_int());
+    else if (key == "latency_p50") t.latency_p50 = value.as_int();
+    else if (key == "latency_p99") t.latency_p99 = value.as_int();
+    else if (key == "latency_p999") t.latency_p999 = value.as_int();
+    else if (key == "latency_max") t.latency_max = value.as_int();
+    else if (key == "latency_hist") {
+      for (const auto& c : value.items()) t.latency_hist.push_back(c.as_int());
+    } else if (key == "hops_hist") {
+      for (const auto& c : value.items()) t.hops_hist.push_back(c.as_int());
+    } else if (key == "link_util_mean") {
+      t.link_util_mean = as_metric(value);
+    } else if (key == "link_util_max") {
+      t.link_util_max = as_metric(value);
+    } else if (key == "hot_links") {
+      for (const auto& l : value.items()) {
+        sim::LinkTelemetry link;
+        for (const auto& [lkey, lvalue] : l.members()) {
+          if (lkey == "u") link.u = static_cast<std::int32_t>(lvalue.as_int());
+          else if (lkey == "v") {
+            link.v = static_cast<std::int32_t>(lvalue.as_int());
+          } else if (lkey == "util") {
+            link.util = as_metric(lvalue);
+          } else if (lkey == "series") {
+            for (const auto& s : lvalue.items()) {
+              link.series.push_back(as_metric(s));
+            }
+          } else {
+            throw std::invalid_argument("unknown hot-link key '" + lkey +
+                                        "'");
+          }
+        }
+        t.hot_links.push_back(std::move(link));
+      }
+    } else if (key == "vc_occupancy") {
+      for (const auto& cls : value.items()) {
+        std::vector<double> series;
+        for (const auto& w : cls.items()) series.push_back(as_metric(w));
+        t.vc_occupancy.push_back(std::move(series));
+      }
+    } else if (key == "peak_backlog") {
+      t.peak_backlog = static_cast<int>(value.as_int());
+    } else if (key == "peak_backlog_router") {
+      t.peak_backlog_router = static_cast<int>(value.as_int());
+    } else {
+      throw std::invalid_argument("unknown telemetry key '" + key + "'");
+    }
+  }
+  return t;
+}
+
 }  // namespace
 
 util::Table sweep_table(const RunRecord& record) {
@@ -40,6 +137,91 @@ void print_run(const RunRecord& record) {
   } else {
     std::printf("saturation throughput: %.3f flits/cycle/endpoint\n",
                 record.saturation());
+  }
+}
+
+void print_report(const RunRecord& record, int top_links) {
+  util::print_banner(record.label);
+  std::printf("%s | %s | %s | seed=%llu\n", record.topology.c_str(),
+              record.routing.c_str(), record.pattern.c_str(),
+              static_cast<unsigned long long>(record.seed));
+  if (!record.status.empty()) {
+    std::printf("status: %s\n", record.status.c_str());
+  }
+
+  bool any_telemetry = false;
+  for (const auto& point : record.points) {
+    any_telemetry = any_telemetry || point.telemetry.present;
+  }
+  if (!any_telemetry) {
+    sweep_table(record).print();
+    std::printf("(no telemetry in this record; re-run with telemetry "
+                "enabled for percentiles and hot links)\n");
+  } else {
+    util::Table table({"offered", "accepted", "p50", "p99", "p999", "max",
+                       "link_util", "backlog"});
+    for (const auto& point : record.points) {
+      const sim::PointTelemetry& t = point.telemetry;
+      if (!t.present) continue;
+      table.row(point.offered, point.accepted,
+                static_cast<double>(t.latency_p50),
+                static_cast<double>(t.latency_p99),
+                static_cast<double>(t.latency_p999),
+                static_cast<double>(t.latency_max), t.link_util_max,
+                static_cast<double>(t.peak_backlog));
+    }
+    table.print();
+
+    // Hot links aggregated across points: peak utilization per link.
+    std::vector<std::pair<std::pair<int, int>, double>> links;
+    for (const auto& point : record.points) {
+      for (const sim::LinkTelemetry& link : point.telemetry.hot_links) {
+        const std::pair<int, int> id{link.u, link.v};
+        bool found = false;
+        for (auto& entry : links) {
+          if (entry.first == id) {
+            entry.second = std::max(entry.second, link.util);
+            found = true;
+            break;
+          }
+        }
+        if (!found) links.emplace_back(id, link.util);
+      }
+    }
+    std::sort(links.begin(), links.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (static_cast<int>(links.size()) > top_links) {
+      links.resize(static_cast<std::size_t>(top_links));
+    }
+    if (!links.empty()) {
+      std::printf("hot links (peak utilization over the sweep):\n");
+      util::Table hot({"link", "peak_util"});
+      for (const auto& [id, util_value] : links) {
+        char name[32];
+        std::snprintf(name, sizeof name, "%d->%d", id.first, id.second);
+        hot.row(name, util_value);
+      }
+      hot.print();
+    }
+    if (record.telemetry.present) {
+      std::printf("latency max: %lld cycles | peak backlog: %d packets "
+                  "(router %d)\n",
+                  static_cast<long long>(record.telemetry.latency_max),
+                  record.telemetry.peak_backlog,
+                  record.telemetry.peak_backlog_router);
+    }
+  }
+
+  const PerfCounters& perf = record.perf;
+  if (perf.setup_seconds > 0.0 || perf.warmup_seconds > 0.0 ||
+      perf.measure_seconds > 0.0 || perf.drain_seconds > 0.0) {
+    std::printf(
+        "phases: setup %.3fs | warmup %.3fs | measure %.3fs | drain %.3fs\n",
+        perf.setup_seconds, perf.warmup_seconds, perf.measure_seconds,
+        perf.drain_seconds);
   }
 }
 
@@ -86,15 +268,36 @@ void append_record_json(util::JsonWriter& json, const RunRecord& record) {
       json.end_array();
       json.end_object();
     }
+    if (point.telemetry.present) write_point_telemetry(json, point.telemetry);
     json.end_object();
   }
   json.end_array();
+  if (record.telemetry.present) {
+    const sim::RecordTelemetry& t = record.telemetry;
+    json.key("telemetry").begin_object();
+    write_int_array(json, "latency_hist", t.latency_hist);
+    write_int_array(json, "hops_hist", t.hops_hist);
+    json.key("latency_max").value(t.latency_max);
+    json.key("peak_backlog").value(t.peak_backlog);
+    json.key("peak_backlog_router").value(t.peak_backlog_router);
+    json.end_object();
+  }
   json.key("perf").begin_object();
   json.key("sim_cycles").value(record.perf.sim_cycles);
   json.key("wall_seconds").value(record.perf.wall_seconds);
   json.key("cycles_per_sec").value(record.perf.cycles_per_sec);
   json.key("mean_hop_count").value(record.perf.mean_hop_count);
   json.key("peak_vc_occupancy").value(record.perf.peak_vc_occupancy);
+  // Phase breakdown: wall-clock class (never diffed), omitted from
+  // placeholder records that simulated nothing so legacy shapes and
+  // skip/resume skeletons stay byte-stable.
+  if (record.perf.setup_seconds > 0.0 || record.perf.warmup_seconds > 0.0 ||
+      record.perf.measure_seconds > 0.0 || record.perf.drain_seconds > 0.0) {
+    json.key("setup_seconds").value(record.perf.setup_seconds);
+    json.key("warmup_seconds").value(record.perf.warmup_seconds);
+    json.key("measure_seconds").value(record.perf.measure_seconds);
+    json.key("drain_seconds").value(record.perf.drain_seconds);
+  }
   json.end_object();
   json.end_object();
 }
@@ -139,6 +342,31 @@ RunDocument parse_run_document(const util::JsonValue& root) {
     doc.records.push_back(parse_run_record(r));
   }
   return doc;
+}
+
+RunDocument parse_bench_aggregate(const util::JsonValue& root) {
+  RunDocument doc;
+  doc.schema = root.at("schema").as_string();
+  if (doc.schema != "polarfly-bench-aggregate/2") {
+    throw std::invalid_argument("document schema '" + doc.schema +
+                                "' is not polarfly-bench-aggregate/2");
+  }
+  doc.tool = "bench_to_json";
+  for (const auto& run : root.at("runs").items()) {
+    for (const auto& r : run.at("records").items()) {
+      doc.records.push_back(parse_run_record(r));
+    }
+  }
+  return doc;
+}
+
+RunDocument parse_records_document(const std::string& json_text) {
+  const util::JsonValue root = util::json_parse(json_text);
+  if (root.find("schema") != nullptr &&
+      root.at("schema").as_string() == "polarfly-bench-aggregate/2") {
+    return parse_bench_aggregate(root);
+  }
+  return parse_run_document(root);
 }
 
 RunRecord parse_run_record(const util::JsonValue& r) {
@@ -188,11 +416,36 @@ RunRecord parse_run_record(const util::JsonValue& r) {
                                             dkey + "'");
               }
             }
+          } else if (pkey == "telemetry") {
+            point.telemetry = parse_point_telemetry(pvalue);
           } else {
             throw std::invalid_argument("unknown point key '" + pkey + "'");
           }
         }
         record.points.push_back(std::move(point));
+      }
+    } else if (key == "telemetry") {
+      record.telemetry.present = true;
+      for (const auto& [tkey, tvalue] : value.members()) {
+        if (tkey == "latency_hist") {
+          for (const auto& c : tvalue.items()) {
+            record.telemetry.latency_hist.push_back(c.as_int());
+          }
+        } else if (tkey == "hops_hist") {
+          for (const auto& c : tvalue.items()) {
+            record.telemetry.hops_hist.push_back(c.as_int());
+          }
+        } else if (tkey == "latency_max") {
+          record.telemetry.latency_max = tvalue.as_int();
+        } else if (tkey == "peak_backlog") {
+          record.telemetry.peak_backlog = static_cast<int>(tvalue.as_int());
+        } else if (tkey == "peak_backlog_router") {
+          record.telemetry.peak_backlog_router =
+              static_cast<int>(tvalue.as_int());
+        } else {
+          throw std::invalid_argument("unknown record telemetry key '" +
+                                      tkey + "'");
+        }
       }
     } else if (key == "perf") {
       for (const auto& [pkey, pvalue] : value.members()) {
@@ -202,6 +455,14 @@ RunRecord parse_run_record(const util::JsonValue& r) {
         else if (pkey == "mean_hop_count") record.perf.mean_hop_count = as_metric(pvalue);
         else if (pkey == "peak_vc_occupancy") {
           record.perf.peak_vc_occupancy = static_cast<int>(pvalue.as_int());
+        } else if (pkey == "setup_seconds") {
+          record.perf.setup_seconds = as_metric(pvalue);
+        } else if (pkey == "warmup_seconds") {
+          record.perf.warmup_seconds = as_metric(pvalue);
+        } else if (pkey == "measure_seconds") {
+          record.perf.measure_seconds = as_metric(pvalue);
+        } else if (pkey == "drain_seconds") {
+          record.perf.drain_seconds = as_metric(pvalue);
         } else {
           throw std::invalid_argument("unknown perf key '" + pkey + "'");
         }

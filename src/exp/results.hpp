@@ -22,6 +22,13 @@ util::Table sweep_table(const RunRecord& record);
 /// the record came from saturation_search, peak accepted otherwise).
 void print_run(const RunRecord& record);
 
+/// The `pf_sim report` rendering of one record: a per-point percentile
+/// table (p50/p99/p999/max from the telemetry block; falls back to the
+/// plain sweep table when the record carries no telemetry), the top-k
+/// hot links aggregated across points, peak router backlog, and phase
+/// timings when present.
+void print_report(const RunRecord& record, int top_links);
+
 /// The whole document: {"tool", "schema", "records": [...]}.
 std::string to_json(const std::vector<RunRecord>& records,
                     const std::string& tool);
@@ -51,6 +58,18 @@ struct RunDocument {
 /// already parsed the text (e.g. to sniff the schema).
 RunDocument parse_run_document(const std::string& json_text);
 RunDocument parse_run_document(const util::JsonValue& root);
+
+/// Flattens a polarfly-bench-aggregate/2 document (bench_to_json
+/// output) into a RunDocument: every runs[].records entry in document
+/// order, embedded "raw" foreign documents ignored. The aggregate's
+/// dedup rule guarantees unique record keys, so keys/diff/report treat
+/// BENCH_*.json trajectories exactly like run documents.
+RunDocument parse_bench_aggregate(const util::JsonValue& root);
+
+/// Parses either records-bearing schema by sniffing "schema": run
+/// documents pass through parse_run_document, bench aggregates are
+/// flattened via parse_bench_aggregate.
+RunDocument parse_records_document(const std::string& json_text);
 
 /// One record (the element shape of "records") parsed back — the
 /// building block parse_run_document and checkpoint loading share.

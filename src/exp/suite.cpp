@@ -9,6 +9,7 @@
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "sim/harness.hpp"
 #include "util/json.hpp"
@@ -200,6 +201,22 @@ std::vector<double> parse_loads(const JsonValue& value,
   bad(context, "expected a number array or {lo, hi, count}");
 }
 
+/// The config.telemetry block: writing the block turns telemetry on
+/// (enabled defaults true here, unlike the C++ default) unless it says
+/// "enabled": false — so one line in a suite lights up the whole run.
+void parse_telemetry(const JsonValue& value, const std::string& context,
+                     sim::SimConfig& config) {
+  if (!value.is_object()) bad(context, "expected a telemetry object");
+  config.telemetry.enabled = true;
+  for (const auto& [key, v] : value.members()) {
+    if (key == "enabled") config.telemetry.enabled = v.as_bool();
+    else if (key == "window") config.telemetry.window_cycles = static_cast<int>(v.as_int());
+    else if (key == "max_windows") config.telemetry.max_windows = static_cast<int>(v.as_int());
+    else if (key == "top_links") config.telemetry.top_links = static_cast<int>(v.as_int());
+    else bad(context, "unknown telemetry key '" + key + "'");
+  }
+}
+
 void parse_config(const JsonValue& value, const std::string& context,
                   sim::SimConfig& config) {
   if (!value.is_object()) bad(context, "expected a config object");
@@ -212,6 +229,7 @@ void parse_config(const JsonValue& value, const std::string& context,
     else if (key == "drain") config.drain_cycles = static_cast<int>(v.as_int());
     else if (key == "stall") config.stall_cycles = static_cast<int>(v.as_int());
     else if (key == "seed") config.seed = v.as_uint();
+    else if (key == "telemetry") parse_telemetry(v, context + ".telemetry", config);
     else bad(context, "unknown config key '" + key + "'");
   }
 }
@@ -440,25 +458,27 @@ bool serves_all_terminals(const NetSetup& setup) {
 namespace {
 
 /// The per-case state the parallel scheduler threads share. `record` is
-/// written by this case's units only; `done` is flipped under the
-/// scheduler mutex so the emitting thread can wait on it.
+/// written by this case's attached workers only; everything except the
+/// claim cursor is touched under the scheduler mutex, and `done` is
+/// flipped there so the emitting thread can wait on it.
 struct CaseState {
   bool skip = false;
   bool resumed = false;  ///< record restored from a checkpoint journal
   Scenario scenario;
   RunRecord record;
-  std::vector<SweepCounters> counters;       ///< one per shard (grid cases)
-  std::atomic<int> remaining{0};             ///< units still to finish
+  /// Claim cursor: workers draw point indices from here. A saturation
+  /// search has num_points == 1 — whichever attached worker claims index
+  /// 0 owns the whole search.
+  std::atomic<std::size_t> next_point{0};
+  std::size_t num_points = 0;
+  int active = 0;          ///< workers attached right now
+  int shards_spawned = 0;  ///< workers that ever attached
+  SweepCounters merged;    ///< folded as workers detach
+  double setup_seconds = 0.0;  ///< phase-1 scenario resolution time
+  double wall_seconds = 0.0;   ///< first attach -> last detach
   std::atomic<bool> started{false};
   std::chrono::steady_clock::time_point start;
   bool done = false;
-};
-
-/// One schedulable slice: shard `shard` of case `case_index` (grid
-/// cases), or the whole saturation search (shard 0 of a 1-unit case).
-struct Unit {
-  std::size_t case_index = 0;
-  std::size_t shard = 0;
 };
 
 void stamp_pattern_seed(const ScenarioSpec& spec, RunRecord& record) {
@@ -499,6 +519,55 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
                              const Callback& on_record) {
   const std::size_t total = suite.cases.size();
   std::size_t skipped = 0;
+
+  // The realized schedule, one row per emitted case in document order —
+  // filled by both schedulers, reported when --progress asked for it.
+  std::vector<CaseSchedule> schedule_rows;
+  schedule_rows.reserve(total);
+
+  // Progress heartbeat: a detached ticker on its own clock, woken early
+  // on shutdown. It only reads the emitted-cases counter, so it never
+  // contends with the scheduler mutex.
+  std::atomic<std::size_t> cases_emitted{0};
+  std::thread heartbeat;
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  const auto hb_join = [&] {
+    if (!heartbeat.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(hb_mutex);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+  };
+  if (schedule_.progress_seconds > 0.0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    heartbeat = std::thread([&, t0, total] {
+      std::unique_lock<std::mutex> lock(hb_mutex);
+      while (!hb_cv.wait_for(
+          lock, std::chrono::duration<double>(schedule_.progress_seconds),
+          [&] { return hb_stop; })) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const std::size_t done = cases_emitted.load();
+        if (done > 0 && done < total) {
+          std::fprintf(stderr,
+                       "progress: %zu/%zu cases, %.1fs elapsed, ETA %.1fs\n",
+                       done, total, elapsed,
+                       elapsed * static_cast<double>(total - done) /
+                           static_cast<double>(done));
+        } else {
+          std::fprintf(stderr, "progress: %zu/%zu cases, %.1fs elapsed\n",
+                       done, total, elapsed);
+        }
+      }
+    });
+  }
+
   try {
     // Phase 1 — resolve every case up front on the calling thread, so
     // topology + oracle construction keeps its internal parallelism (a
@@ -518,7 +587,12 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
     std::size_t runnable = 0;
     for (std::size_t i = 0; i < total; ++i) {
       const SuiteCase& cs = suite.cases[i];
+      const auto setup_start = std::chrono::steady_clock::now();
       states[i].scenario = registry_.make(cs.spec);
+      states[i].setup_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        setup_start)
+              .count();
       if (!serves_all_terminals(*states[i].scenario.setup)) {
         std::fprintf(stderr,
                      "suite %s: skipping '%s' — damaged graph no longer "
@@ -556,6 +630,18 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
     // single-core boxes still execute the code multi-core runners rely
     // on. Only --serial and trivial suites take the serial loop.
     util::ThreadPool& pool = util::ThreadPool::shared();
+
+    // Shared emit tail: the schedule row and the progress counter are
+    // maintained by both schedulers, then the caller's hook fires.
+    const auto emit = [&](const RunRecord& record, std::size_t i,
+                          int shards) {
+      schedule_rows.push_back(
+          {record.label, shards, record.points.size(),
+           record.perf.wall_seconds});
+      cases_emitted.fetch_add(1);
+      if (on_record) on_record(record, i, total);
+    };
+
     if (!schedule_.parallel || runnable <= 1) {
       // Serial scheduler: one case at a time, each case parallelizing
       // internally across the whole pool (run_sweep's own sharding).
@@ -563,7 +649,7 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
       for (std::size_t i = 0; i < total; ++i) {
         if (states[i].skip || states[i].resumed) {
           log.add(std::move(states[i].record));
-          if (on_record) on_record(log.records().back(), i, total);
+          emit(log.records().back(), i, 0);
           continue;
         }
         const SuiteCase& cs = suite.cases[i];
@@ -575,105 +661,147 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
                           : run_sweep(scenario, cs.loads,
                                       cs.timeout_seconds);
         stamp_pattern_seed(cs.spec, record);
+        record.perf.setup_seconds = states[i].setup_seconds;
+        const int shards =
+            cs.saturation
+                ? 1
+                : static_cast<int>(std::min(cs.loads.size(),
+                                            pool.num_threads()));
         log.add(std::move(record));
-        if (on_record) on_record(log.records().back(), i, total);
+        emit(log.records().back(), i, shards);
       }
     } else {
-      // Phase 2 — slice cases into units. A grid case gets up to
-      // `budget` strided shards; a saturation search is one unit (its
-      // probes are inherently sequential). The auto budget spreads the
-      // pool across the runnable cases: many small cases -> one worker
-      // each, few big cases -> wide internal sharding.
-      const std::size_t budget =
-          schedule_.workers_per_case > 0
-              ? static_cast<std::size_t>(schedule_.workers_per_case)
-              : std::max<std::size_t>(1, pool.num_threads() / runnable);
-      std::vector<Unit> units;
+      // Phase 2 — open each runnable case's claim cursor. Points are
+      // not pre-sliced into fixed shards: workers attach to a case and
+      // draw points one at a time, so when a case drains its workers
+      // immediately rebalance onto whatever still has unclaimed work.
+      std::size_t claimable = 0;
       for (std::size_t i = 0; i < total; ++i) {
         if (states[i].skip || states[i].resumed) continue;
         const SuiteCase& cs = suite.cases[i];
         const Scenario& scenario = states[i].scenario;
-        const std::size_t shards =
-            cs.saturation ? 1 : std::min(budget, cs.loads.size());
+        states[i].num_points = cs.saturation ? 1 : cs.loads.size();
+        claimable += states[i].num_points;
         if (!cs.saturation) {
           states[i].record = prepare_sweep_record(
               *scenario.setup, *scenario.routing, *scenario.pattern,
               scenario.config, cs.loads.size(), scenario.label);
-          states[i].counters.resize(shards);
         }
-        states[i].remaining.store(static_cast<int>(shards));
-        for (std::size_t s = 0; s < shards; ++s) units.push_back({i, s});
       }
 
-      // Phase 3 — drain the unit queue on the pool. The queue is
-      // self-balancing (workers pop the next unit when free), so unit
-      // granularity — not submission order — bounds the tail.
-      std::atomic<std::size_t> next{0};
+      // Phase 3 — run the attachment loop on the pool.
       std::atomic<bool> abort{false};
       std::mutex mutex;
       std::condition_variable cv;
       std::size_t workers_done = 0;
       std::exception_ptr first_error;
 
-      const auto run_unit = [&](const Unit& unit) {
-        CaseState& st = states[unit.case_index];
-        const SuiteCase& cs = suite.cases[unit.case_index];
-        if (!st.started.exchange(true)) {
-          st.start = std::chrono::steady_clock::now();
-        }
-        if (cs.saturation) {
-          st.record = saturation_search(st.scenario, cs.sat_lo, cs.sat_hi,
-                                        cs.sat_tol, cs.sat_iters,
-                                        cs.timeout_seconds);
-        } else {
-          run_sweep_shard(*st.scenario.setup, *st.scenario.routing,
-                          *st.scenario.pattern, st.scenario.config, cs.loads,
-                          unit.shard, st.counters.size(), st.record.points,
-                          st.counters[unit.shard], cs.timeout_seconds);
-        }
+      // A case a worker can still make progress on: unclaimed points
+      // remain. Fully-claimed-but-running cases are excluded — they
+      // no longer count toward the live per-case cap either.
+      const auto has_work = [](const CaseState& st) {
+        return !st.skip && !st.resumed && !st.done &&
+               st.next_point.load(std::memory_order_relaxed) <
+                   st.num_points;
       };
 
       const auto worker = [&] {
+        std::unique_lock<std::mutex> lock(mutex);
         for (;;) {
-          const std::size_t u = next.fetch_add(1);
-          if (u >= units.size()) break;
-          if (!abort.load(std::memory_order_relaxed)) {
-            try {
-              run_unit(units[u]);
-            } catch (...) {
-              std::lock_guard<std::mutex> lock(mutex);
-              if (!first_error) first_error = std::current_exception();
-              abort.store(true);
+          if (abort.load(std::memory_order_relaxed)) break;
+          // Pick the attachable case with the fewest active workers
+          // (document order breaks ties). The cap is recomputed from
+          // the LIVE number of open cases, so the last cases standing
+          // are allowed to widen beyond the initial even split.
+          std::size_t open = 0;
+          for (const CaseState& st : states) open += has_work(st) ? 1 : 0;
+          if (open == 0) break;
+          const std::size_t cap =
+              schedule_.workers_per_case > 0
+                  ? static_cast<std::size_t>(schedule_.workers_per_case)
+                  : std::max<std::size_t>(1, pool.num_threads() / open);
+          std::size_t pick = total;
+          for (std::size_t i = 0; i < total; ++i) {
+            if (!has_work(states[i])) continue;
+            if (static_cast<std::size_t>(states[i].active) >= cap) continue;
+            if (pick == total || states[i].active < states[pick].active) {
+              pick = i;
             }
           }
-          CaseState& st = states[units[u].case_index];
-          const bool last_unit = st.remaining.fetch_sub(1) == 1;
-          if (last_unit && !abort.load(std::memory_order_relaxed) &&
-              !suite.cases[units[u].case_index].saturation) {
-            // Grid case complete: fold the shard counters and the
-            // case's own wall-clock span (first unit start -> now).
-            SweepCounters merged;
-            for (const SweepCounters& c : st.counters) merged += c;
-            finish_sweep_record(
-                st.record, merged,
+          if (pick == total) {
+            // Every open case is at its cap; a detach or a drain will
+            // change the picture and notify.
+            cv.wait(lock);
+            continue;
+          }
+          CaseState& st = states[pick];
+          const SuiteCase& cs = suite.cases[pick];
+          ++st.active;
+          ++st.shards_spawned;
+          if (!st.started.exchange(true)) {
+            st.start = std::chrono::steady_clock::now();
+          }
+          lock.unlock();
+
+          SweepCounters local;
+          try {
+            if (cs.saturation) {
+              // Whoever claims index 0 owns the whole search; a second
+              // attacher's claim overshoots and it detaches idle.
+              if (st.next_point.fetch_add(1) == 0) {
+                st.record = saturation_search(st.scenario, cs.sat_lo,
+                                              cs.sat_hi, cs.sat_tol,
+                                              cs.sat_iters,
+                                              cs.timeout_seconds);
+              }
+            } else {
+              run_sweep_claimed(
+                  *st.scenario.setup, *st.scenario.routing,
+                  *st.scenario.pattern, st.scenario.config, cs.loads,
+                  [&st] { return st.next_point.fetch_add(1); },
+                  st.record.points, local, cs.timeout_seconds);
+            }
+          } catch (...) {
+            lock.lock();
+            if (!first_error) first_error = std::current_exception();
+            abort.store(true);
+            --st.active;
+            cv.notify_all();
+            continue;  // the loop head sees abort and exits
+          }
+
+          lock.lock();
+          st.merged += local;
+          --st.active;
+          if (!st.done && st.active == 0 &&
+              st.next_point.load(std::memory_order_relaxed) >=
+                  st.num_points) {
+            // Last worker off a drained case finalizes it. A
+            // saturation record is already finished by the search
+            // itself; a grid case folds the detached counters over the
+            // case's own wall-clock span (first attach -> now).
+            st.wall_seconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - st.start)
-                    .count());
+                    .count();
+            if (!cs.saturation) {
+              finish_sweep_record(st.record, st.merged, st.wall_seconds);
+            }
+            st.record.perf.setup_seconds = st.setup_seconds;
+            st.done = true;
           }
-          std::lock_guard<std::mutex> lock(mutex);
-          if (last_unit) st.done = true;
           cv.notify_all();
         }
         // Last action before exit, under the mutex: after the final
         // worker bumps this, no thread touches the locals above again —
         // the emitting thread may safely unwind them.
-        std::lock_guard<std::mutex> lock(mutex);
         ++workers_done;
         cv.notify_all();
+        // lock releases on scope exit
       };
 
       const std::size_t dispatchers =
-          std::min(units.size(), pool.num_threads());
+          std::min(claimable, pool.num_threads());
       for (std::size_t t = 0; t < dispatchers; ++t) pool.submit(worker);
 
       // Emit the completed prefix in case (document) order as it grows:
@@ -692,11 +820,12 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
         // the error (serial semantics: the failing run yields no tail).
         if (abort.load(std::memory_order_relaxed)) break;
         RunRecord record = std::move(states[i].record);
+        const int shards = states[i].shards_spawned;
         lock.unlock();
         try {
           stamp_pattern_seed(suite.cases[i].spec, record);
           log.add(std::move(record));
-          if (on_record) on_record(log.records().back(), i, total);
+          emit(log.records().back(), i, shards);
         } catch (...) {
           // A throwing sink/callback must not skip the drain barrier
           // below — workers still reference this frame's locals.
@@ -714,8 +843,21 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
       if (first_error) std::rethrow_exception(first_error);
     }
   } catch (...) {
+    hb_join();
     registry_.evict_damaged();
     throw;
+  }
+  hb_join();
+  // The final schedule: what the rebalancing actually did, case by case.
+  if (schedule_.progress_seconds > 0.0) {
+    for (const CaseSchedule& row : schedule_rows) {
+      std::fprintf(stderr, "schedule: '%s' %d worker(s), %zu point(s), %.2fs\n",
+                   row.label.c_str(), row.shards, row.points,
+                   row.wall_seconds);
+    }
+  }
+  if (schedule_.schedule_out != nullptr) {
+    *schedule_.schedule_out = std::move(schedule_rows);
   }
   // Damaged graphs are one-suite artifacts: cases within this run shared
   // them through the cache, but a long-lived process must not accumulate

@@ -68,27 +68,39 @@ Suite parse_suite(const std::string& json_text);
 /// load + parse; errors are prefixed with the path.
 Suite load_suite(const std::string& path);
 
+/// The realized schedule of one case: how the scheduler actually ran
+/// it. Under the parallel scheduler `shards` counts the workers that
+/// ever attached to the case's claim cursor (rebalancing means late
+/// workers pile onto the stragglers); under the serial scheduler it is
+/// the case's internal sharding width.
+struct CaseSchedule {
+  std::string label;
+  int shards = 0;          ///< workers that ever ran part of this case
+  std::size_t points = 0;  ///< load points (saturation: probes recorded)
+  double wall_seconds = 0.0;
+};
+
 /// How SuiteRunner schedules a suite's cases over the shared thread pool.
 ///
 /// The default (parallel) scheduler runs independent cases concurrently:
-/// every case is sliced into work units — a grid sweep into up to
-/// `workers_per_case` strided shards, a saturation search into one unit
-/// (its probes are sequential by construction) — and the units of ALL
-/// cases drain through one self-balancing queue. Small cases no longer
-/// serialize behind big ones, and no single case can occupy more than
-/// its worker budget, so one long saturation search cannot starve the
-/// rest of the suite. Records stream into the ResultLog in document
-/// order regardless of completion order, with values bit-identical to a
-/// serial run (only the wall-clock perf fields differ — see
-/// docs/schemas.md).
+/// every grid case exposes a claim cursor over its load points, workers
+/// attach to a case and draw points one at a time, and the per-case
+/// attachment cap is recomputed live from the number of cases that still
+/// have unclaimed work — as cases drain, freed workers rebalance onto
+/// whatever remains instead of idling behind a fixed up-front split.
+/// Saturation searches are single-attachment (their probes are
+/// sequential by construction). Records stream into the ResultLog in
+/// document order regardless of completion order, with values
+/// bit-identical to a serial run (only the wall-clock perf fields differ
+/// — see docs/schemas.md).
 struct ScheduleOptions {
   /// false restores the pre-scheduler behavior: cases run one after
   /// another, each parallelizing internally across the whole pool.
   bool parallel = true;
-  /// Max pool workers one grid case may occupy (its shard count).
-  /// 0 = auto: pool_threads / runnable_cases, at least 1 — many small
-  /// cases get pure case-parallelism, few big cases still split their
-  /// load grids.
+  /// Max workers attached to one case at a time. 0 = auto:
+  /// pool_threads / cases_with_unclaimed_work, at least 1, recomputed as
+  /// cases drain — many open cases get pure case-parallelism, the last
+  /// cases standing are allowed to widen.
   int workers_per_case = 0;
   /// Checkpoint records from an interrupted run (load_checkpoint order).
   /// Cases whose predicted record_key() matches a journal record (FIFO
@@ -96,6 +108,13 @@ struct ScheduleOptions {
   /// document-order slot, so the final document is bit-identical to an
   /// uninterrupted run. Not owned; must outlive run().
   const std::vector<RunRecord>* resume = nullptr;
+  /// > 0 enables the progress heartbeat: a `progress: done/total cases,
+  /// elapsed, ETA` line on stderr every this-many seconds, plus the
+  /// realized per-case schedule when the run completes.
+  double progress_seconds = 0.0;
+  /// When set, receives one CaseSchedule per case (document order) after
+  /// run() completes. Not owned; must outlive run().
+  std::vector<CaseSchedule>* schedule_out = nullptr;
 };
 
 /// Executes a suite through run_sweep / saturation_search, streaming

@@ -18,6 +18,7 @@ struct SimStats {
   double offered = 0.0;
   double accepted_load = 0.0;
   double avg_latency = 0.0;
+  double p50_latency = 0.0;  ///< exact median of the measured sample
   double p99_latency = 0.0;
   bool converged = false;
   std::int64_t delivered_packets = 0;

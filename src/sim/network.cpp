@@ -1,6 +1,8 @@
 #include "sim/network.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <stdexcept>
@@ -127,6 +129,10 @@ Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
     channel_dead_.assign(num_channels, 0);
     router_dead_.assign(static_cast<std::size_t>(n), 0);
   }
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<TelemetryCollector>(
+        config_.telemetry, num_channels, n, classes_, config_.packet_size);
+  }
   reset_state();  // builds the injection schedule; everything above holds
 }
 
@@ -190,6 +196,10 @@ void Network::reset_state() {
   stalled_ = false;
   measured_lost_ = 0;
   last_delivery_cycle_ = 0;
+  if (telemetry_) telemetry_->reset();
+  warmup_seconds_ = 0.0;
+  measure_seconds_ = 0.0;
+  drain_seconds_ = 0.0;
   total_ejected_flits_ = 0;
   prev_total_flits_ = 0;
   if (has_timeline_) {
@@ -291,6 +301,15 @@ void Network::process_due_terminal(int t) {
   if (packet.measured) ++measured_generated_;
   injection_pool_[static_cast<std::size_t>(packet.src_router)].push_back(id);
   ++router_backlog_[static_cast<std::size_t>(packet.src_router)];
+  if (telemetry_) {
+    telemetry_->on_backlog(
+        packet.src_router,
+        router_backlog_[static_cast<std::size_t>(packet.src_router)]);
+    if (telemetry_->tracing() && telemetry_->sample(t, packet.birth)) {
+      packet.trace_id = telemetry_->assign_trace_id();
+      trace_inject(packet, t);
+    }
+  }
 
   const std::int64_t gap = injection_gap(rng);
   if (gap < kNeverInject) schedule_terminal(t, cycle_ + gap);
@@ -330,7 +349,9 @@ void Network::eject(int packet_id) {
     ++measured_delivered_;
     measured_hops_ += packet.route.len - 1;
     latencies_.push_back(latency);
+    if (telemetry_) telemetry_->on_delivery(latency, packet.route.len - 1);
   }
+  if (telemetry_ && packet.trace_id >= 0) trace_deliver(packet, latency);
   release_packet(packet_id);
 }
 
@@ -418,12 +439,16 @@ void Network::flush_dead_channel(int channel) {
           [ring * static_cast<std::size_t>(vc_cap_packets_) +
            static_cast<std::size_t>((ring_head_[ring] + k) %
                                     vc_cap_packets_)];
+      if (telemetry_) telemetry_->on_class_dequeue(vc / subvcs_);
       if (config_.faults.policy == FaultPolicy::Reinject) {
         requeue_at_source(packet_id);
       } else {
         Packet& packet = packets_[static_cast<std::size_t>(packet_id)];
         ++degradation_.dropped;
         if (packet.measured) ++measured_lost_;
+        if (telemetry_ && packet.trace_id >= 0) {
+          trace_drop(packet, "drop_fault");
+        }
         release_packet(packet_id);
       }
       ++flushed;
@@ -515,6 +540,12 @@ void Network::requeue_at_source(int packet_id) {
   injection_pool_[static_cast<std::size_t>(packet.src_router)]
       .push_back(packet_id);
   ++router_backlog_[static_cast<std::size_t>(packet.src_router)];
+  if (telemetry_) {
+    telemetry_->on_backlog(
+        packet.src_router,
+        router_backlog_[static_cast<std::size_t>(packet.src_router)]);
+    if (packet.trace_id >= 0) trace_drop(packet, "reinject");
+  }
 }
 
 void Network::drop_unreachable(int packet_id, int at_router) {
@@ -524,6 +555,9 @@ void Network::drop_unreachable(int packet_id, int at_router) {
   unreachable_seen_.emplace(packet.src_router,
                             pattern_.router_of(packet.dst_terminal));
   if (packet.measured) ++measured_lost_;
+  if (telemetry_ && packet.trace_id >= 0) {
+    trace_drop(packet, "drop_unreachable");
+  }
   release_packet(packet_id);
 }
 
@@ -550,6 +584,7 @@ bool Network::try_dispatch(int packet_id, int at_router) {
       ++degradation_.rerouted;
     } else if (reroute_mid(packet, at_router)) {
       ++degradation_.rerouted;
+      if (telemetry_ && packet.trace_id >= 0) trace_route(packet, "reroute");
     } else if (config_.faults.policy == FaultPolicy::Reinject) {
       requeue_at_source(packet_id);
       return true;  // caller pops the buffer slot
@@ -573,10 +608,12 @@ bool Network::try_dispatch(int packet_id, int at_router) {
       packet.out_channel =
           channel_id(packet.src_router, packet.route.hops[1]);
       ++waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
+      if (telemetry_ && packet.trace_id >= 0) trace_route(packet, "route");
     } else if (pick_route(packet.src_router, dst_router, packet.route)) {
       packet.out_channel =
           channel_id(packet.src_router, packet.route.hops[1]);
       ++waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
+      if (telemetry_ && packet.trace_id >= 0) trace_route(packet, "route");
     } else if (config_.faults.policy == FaultPolicy::Reinject) {
       // Stay queued at the source: a link_up may restore a path.
       unreachable_seen_.emplace(packet.src_router, dst_router);
@@ -624,6 +661,17 @@ bool Network::try_dispatch(int packet_id, int at_router) {
   link_busy_until_[out] = cycle_ + config_.packet_size;
   channel_occupancy_[out] += config_.packet_size;
   ++router_backlog_[static_cast<std::size_t>(channel_target_[out])];
+  if (telemetry_) {
+    telemetry_->on_forward(out);
+    telemetry_->on_class_enqueue(vc / subvcs_);
+    telemetry_->on_backlog(
+        channel_target_[out],
+        router_backlog_[static_cast<std::size_t>(channel_target_[out])]);
+    if (packet.trace_id >= 0) {
+      trace_hop(packet, at_router,
+                packet.route.hops[static_cast<std::size_t>(packet.hop)]);
+    }
+  }
   if (packet.hop == 1 && packet.route.len >= 2) {
     // Departed the source: leave that first-hop waiting queue.
     --waiting_for_output_[out];
@@ -669,6 +717,7 @@ void Network::allocate_router(int v) {
         channel_occupancy_[static_cast<std::size_t>(c)] -=
             config_.packet_size;
         --router_backlog_[static_cast<std::size_t>(v)];
+        if (telemetry_) telemetry_->on_class_dequeue(vc / subvcs_);
       }
     }
   }
@@ -701,11 +750,19 @@ void Network::step() {
       allocate_router(v);
     }
   }
+  if (telemetry_) telemetry_->end_cycle();
   ++cycle_;
 }
 
 void Network::run_phases() {
+  using clock = std::chrono::steady_clock;
+  const auto seconds_since = [](clock::time_point from, clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  };
+  const auto phase0 = clock::now();
   for (int i = 0; i < config_.warmup_cycles; ++i) step();
+  const auto phase1 = clock::now();
+  warmup_seconds_ = seconds_since(phase0, phase1);
 
   // Progress watchdog: a damaged (or pathologically congested) run that
   // stops delivering while measured packets are outstanding terminates
@@ -736,6 +793,8 @@ void Network::run_phases() {
     }
   }
   measuring_ = false;
+  const auto phase2 = clock::now();
+  measure_seconds_ = seconds_since(phase1, phase2);
 
   // Drain until every measured packet is delivered or accounted lost.
   last_delivery_cycle_ = std::max(last_delivery_cycle_, cycle_);
@@ -746,6 +805,8 @@ void Network::run_phases() {
     step();
     if (is_stalled()) stalled_ = true;
   }
+  drain_seconds_ = seconds_since(phase2, clock::now());
+  if (telemetry_) telemetry_->flush_trace();
 }
 
 double Network::accepted_load() const {
@@ -773,6 +834,84 @@ double Network::p99_latency() const {
 
 bool Network::converged() const {
   return measured_delivered_ == measured_generated_;
+}
+
+std::pair<int, int> Network::channel_endpoints(std::size_t channel) const {
+  // channel_offset_ is nondecreasing; the owner of `channel` is the last
+  // router whose first channel is <= channel.
+  const auto it =
+      std::upper_bound(channel_offset_.begin(), channel_offset_.end(),
+                       static_cast<std::int64_t>(channel));
+  const int u = static_cast<int>(it - channel_offset_.begin()) - 1;
+  return {u, static_cast<int>(channel_target_[channel])};
+}
+
+PointTelemetry Network::collect_telemetry() const {
+  if (!telemetry_) return {};
+  std::vector<std::int64_t> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  return telemetry_->finish(
+      sorted, [this](std::size_t c) { return channel_endpoints(c); });
+}
+
+void Network::trace_inject(const Packet& packet, int terminal) {
+  char buf[192];
+  const int n = std::snprintf(
+      buf, sizeof buf,
+      "{\"cycle\":%lld,\"event\":\"inject\",\"packet\":%d,\"terminal\":%d,"
+      "\"src\":%d,\"dst\":%d}",
+      static_cast<long long>(cycle_), packet.trace_id, terminal,
+      packet.src_router, pattern_.router_of(packet.dst_terminal));
+  if (n > 0) telemetry_->trace_line(buf, static_cast<std::size_t>(n));
+}
+
+void Network::trace_route(const Packet& packet, const char* event) {
+  char buf[128 + 16 * Route::kMaxLen];
+  int n = std::snprintf(buf, sizeof buf,
+                        "{\"cycle\":%lld,\"event\":\"%s\",\"packet\":%d,"
+                        "\"path\":[",
+                        static_cast<long long>(cycle_), event,
+                        packet.trace_id);
+  for (int h = 0; h < packet.route.len && n > 0 &&
+                  n < static_cast<int>(sizeof buf) - 16;
+       ++h) {
+    n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                       h == 0 ? "%d" : ",%d",
+                       packet.route.hops[static_cast<std::size_t>(h)]);
+  }
+  n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), "]}");
+  if (n > 0) telemetry_->trace_line(buf, static_cast<std::size_t>(n));
+}
+
+void Network::trace_hop(const Packet& packet, int at_router,
+                        int next_router) {
+  char buf[160];
+  const int n = std::snprintf(
+      buf, sizeof buf,
+      "{\"cycle\":%lld,\"event\":\"hop\",\"packet\":%d,\"from\":%d,"
+      "\"to\":%d}",
+      static_cast<long long>(cycle_), packet.trace_id, at_router,
+      next_router);
+  if (n > 0) telemetry_->trace_line(buf, static_cast<std::size_t>(n));
+}
+
+void Network::trace_deliver(const Packet& packet, std::int64_t latency) {
+  char buf[160];
+  const int n = std::snprintf(
+      buf, sizeof buf,
+      "{\"cycle\":%lld,\"event\":\"deliver\",\"packet\":%d,\"latency\":%lld}",
+      static_cast<long long>(cycle_), packet.trace_id,
+      static_cast<long long>(latency));
+  if (n > 0) telemetry_->trace_line(buf, static_cast<std::size_t>(n));
+}
+
+void Network::trace_drop(const Packet& packet, const char* reason) {
+  // `reason` is the event name: drop_fault, drop_unreachable, reinject.
+  char buf[160];
+  const int n = std::snprintf(
+      buf, sizeof buf, "{\"cycle\":%lld,\"event\":\"%s\",\"packet\":%d}",
+      static_cast<long long>(cycle_), reason, packet.trace_id);
+  if (n > 0) telemetry_->trace_line(buf, static_cast<std::size_t>(n));
 }
 
 }  // namespace pf::sim

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/traffic.hpp"
 #include "util/rng.hpp"
 
@@ -115,6 +116,10 @@ struct SimConfig {
   int stall_cycles = 0;
   /// Runtime failure script; empty (the default) costs nothing.
   FaultTimeline faults;
+  /// Congestion/latency telemetry and packet tracing; default-off, and
+  /// enabling it never perturbs the simulated statistics (telemetry
+  /// draws no randomness from the simulation RNG streams).
+  TelemetryConfig telemetry;
 };
 
 /// A source route: the router sequence hops[0..len), hops[0] = source.
@@ -204,6 +209,21 @@ class Network {
 
   std::int64_t current_cycle() const { return cycle_; }
 
+  // --- telemetry (valid after run_phases) ---
+  bool telemetry_enabled() const { return telemetry_ != nullptr; }
+  /// Extracts the per-point telemetry block (histograms, exact
+  /// percentiles, link/VC time series, peak backlog). Empty block when
+  /// telemetry is off.
+  PointTelemetry collect_telemetry() const;
+  /// The measured per-packet latency sample (delivery order).
+  const std::vector<std::int64_t>& measured_latencies() const {
+    return latencies_;
+  }
+  /// Wall-clock spent in each phase of the last run_phases() call.
+  double warmup_seconds() const { return warmup_seconds_; }
+  double measure_seconds() const { return measure_seconds_; }
+  double drain_seconds() const { return drain_seconds_; }
+
   // --- runtime faults (valid when config.faults is non-empty) ---
   bool has_faults() const { return has_timeline_; }
   /// True when the progress watchdog terminated measure/drain early.
@@ -233,6 +253,7 @@ class Network {
     std::int64_t birth = 0;
     std::int64_t ready = 0;  ///< head-arrival time at the current router
     bool measured = false;
+    std::int32_t trace_id = -1;  ///< >= 0 when sampled into the trace
   };
 
   int channel_id(int u, int v) const;
@@ -282,6 +303,16 @@ class Network {
   void requeue_at_source(int packet_id);
   /// Discards a packet stranded with no live path.
   void drop_unreachable(int packet_id, int at_router);
+
+  // --- telemetry/trace helpers (no-ops unless telemetry_ is live) ---
+  /// Maps a directed channel id back to its (upstream, downstream) pair.
+  std::pair<int, int> channel_endpoints(std::size_t channel) const;
+  void trace_inject(const Packet& packet, int terminal);
+  /// Emits the full router path when a traced packet commits to a route.
+  void trace_route(const Packet& packet, const char* event);
+  void trace_hop(const Packet& packet, int at_router, int next_router);
+  void trace_deliver(const Packet& packet, std::int64_t latency);
+  void trace_drop(const Packet& packet, const char* reason);
 
   const graph::Graph& graph_;
   const RoutingAlgorithm& routing_;
@@ -351,6 +382,13 @@ class Network {
   std::int64_t measured_hops_ = 0;
   int peak_vc_packets_ = 0;
   std::vector<std::int64_t> latencies_;
+
+  // Telemetry: null unless config.telemetry.enabled; every hook checks
+  // the pointer, so the default path pays one predictable branch.
+  std::unique_ptr<TelemetryCollector> telemetry_;
+  double warmup_seconds_ = 0.0;
+  double measure_seconds_ = 0.0;
+  double drain_seconds_ = 0.0;
 
   // Runtime-fault state. Sized/maintained only when has_timeline_; the
   // default path never touches it beyond a single branch per step.
