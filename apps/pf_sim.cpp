@@ -22,11 +22,15 @@
 //
 // Patterns: uniform | tornado | randperm | perm1hop | perm2hop | bitcomp
 // Routing:  MIN | VAL | CVAL | UGAL | UGALPF | NCA (fat tree) | ALG (PF)
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "exp/diff.hpp"
 #include "exp/engine.hpp"
@@ -69,7 +73,11 @@ void usage_suite(std::FILE* f) {
       "                   plus the realized per-case schedule at the end\n"
       "  --telemetry      force-enable congestion/latency telemetry on\n"
       "                   every case (suites can also set it per case via\n"
-      "                   config.telemetry)\n",
+      "                   config.telemetry)\n"
+      "  --engine E       force the simulator core (event|cycle) on every\n"
+      "                   case, overriding config.engine — the two cores\n"
+      "                   are bit-identical (the CI equivalence gate runs\n"
+      "                   a suite under both and diffs at rtol 0)\n",
       f);
 }
 
@@ -107,6 +115,16 @@ void usage_diff(std::FILE* f) {
       f);
 }
 
+void usage_trace_stats(std::FILE* f) {
+  std::fputs(
+      "usage: pf_sim trace-stats <trace.jsonl> [--top N]\n"
+      "  summarize a --trace packet event log: per-event-type counts,\n"
+      "  the inter-event cycle-gap distribution (how much of the run was\n"
+      "  idle — the spans the event engine skips wholesale), and the\n"
+      "  top-N hottest routers by trace events (default 8)\n",
+      f);
+}
+
 int usage() {
   std::printf(
       "pf_sim --topology F [family params] --routing R --pattern P\n"
@@ -119,6 +137,9 @@ int usage() {
       "       tolerance-aware trajectory comparison of two documents\n"
       "pf_sim report <records.json> [--top N]\n"
       "       render percentile tables and hot links from telemetry\n"
+      "pf_sim trace-stats <trace.jsonl> [--top N]\n"
+      "       summarize a --trace packet event log: event counts,\n"
+      "       inter-event cycle gaps, hottest routers\n"
       "\n"
       "options:\n"
       "  --endpoints N    endpoints per router (default: radix/2 balanced)\n"
@@ -127,6 +148,9 @@ int usage() {
       "  --buf N          flit buffer per port (default 256)\n"
       "  --warmup/--measure/--drain C   phase lengths in cycles\n"
       "  --seed S         simulation seed (default 42)\n"
+      "  --engine E       simulator core: event (default; skips idle\n"
+      "                   cycles wholesale) or cycle (reference core) —\n"
+      "                   bit-identical statistics either way\n"
       "  --ugal-threshold X  UGAL adaptivity gate (default: kind's paper\n"
       "                   value — UGAL 0, UGALPF 2/3)\n"
       "  --json PATH      write the run as a polarfly-run/1 JSON record\n"
@@ -257,6 +281,19 @@ int run_suite(const util::CliArgs& args) {
   if (args.has("telemetry")) {
     for (exp::SuiteCase& cs : suite.cases) {
       cs.spec.config.telemetry.enabled = true;
+    }
+  }
+  // --engine overrides config.engine on every case; results must be
+  // identical either way, so this only selects the executing core.
+  if (args.has("engine")) {
+    sim::SimEngine engine = sim::SimEngine::Event;
+    if (!sim::parse_engine(args.str("engine"), engine)) {
+      std::fprintf(stderr, "pf_sim suite: unknown engine '%s' (event/cycle)\n",
+                   args.str("engine").c_str());
+      return 2;
+    }
+    for (exp::SuiteCase& cs : suite.cases) {
+      cs.spec.config.engine = engine;
     }
   }
 
@@ -406,16 +443,148 @@ int run_report(const util::CliArgs& args) {
   return 0;
 }
 
+/// `pf_sim trace-stats <trace.jsonl>`: summarize a sampled packet event
+/// trace. Lines are JSON objects with at least {"cycle", "event"}; the
+/// simulator emits them in nondecreasing cycle order, which is what
+/// makes single-pass gap accounting exact. Unparseable lines are
+/// counted and reported, not fatal — a truncated trace (killed run,
+/// trace_max_events cap) should still summarize.
+int run_trace_stats(const util::CliArgs& args) {
+  const std::string path = operand_or_usage(args, 0, "trace file",
+                                            "trace-stats", usage_trace_stats);
+  const int top = static_cast<int>(args.integer_or("top", 8));
+  if (reject_stray_arguments(args, "trace-stats")) return 2;
+  std::string text;
+  if (!util::read_text_file(path, text)) {
+    std::fprintf(stderr, "pf_sim trace-stats: cannot read trace file '%s'\n",
+                 path.c_str());
+    usage_trace_stats(stderr);
+    return 2;
+  }
+
+  std::map<std::string, std::int64_t> counts;
+  // router id -> {injected, forwarded, arrived}
+  std::map<int, std::array<std::int64_t, 3>> router_events;
+  sim::LogHistogram gap_hist;
+  std::int64_t lines = 0, bad = 0;
+  std::int64_t first_cycle = 0, last_cycle = 0, prev_cycle = -1;
+  std::int64_t active_cycles = 0, max_gap = 0;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (eol > pos) {
+      ++lines;
+      try {
+        const util::JsonValue line =
+            util::json_parse(text.substr(pos, eol - pos));
+        const std::int64_t cycle = line.at("cycle").as_int();
+        const std::string& event = line.at("event").as_string();
+        ++counts[event];
+        if (prev_cycle < 0) {
+          first_cycle = cycle;
+        } else if (cycle != prev_cycle) {
+          const std::int64_t gap = cycle - prev_cycle;
+          gap_hist.add(gap);
+          if (gap > max_gap) max_gap = gap;
+        }
+        if (cycle != prev_cycle) ++active_cycles;
+        prev_cycle = cycle;
+        last_cycle = cycle;
+        if (event == "inject") {
+          ++router_events[static_cast<int>(line.at("src").as_int())][0];
+        } else if (event == "hop") {
+          ++router_events[static_cast<int>(line.at("from").as_int())][1];
+          ++router_events[static_cast<int>(line.at("to").as_int())][2];
+        }
+      } catch (const std::exception&) {
+        ++bad;
+      }
+    }
+    pos = eol + 1;
+  }
+  if (lines == 0 || lines == bad) {
+    std::fprintf(stderr, "pf_sim trace-stats: %s: no trace events\n",
+                 path.c_str());
+    return 1;
+  }
+
+  const std::int64_t span = last_cycle - first_cycle + 1;
+  std::printf("trace %s: %lld event line(s)", path.c_str(),
+              static_cast<long long>(lines - bad));
+  if (bad != 0) {
+    std::printf(" (+%lld unparseable, skipped)",
+                static_cast<long long>(bad));
+  }
+  std::printf("\ncycles %lld..%lld: %lld of %lld active (%.1f%%), "
+              "largest idle gap %lld\n",
+              static_cast<long long>(first_cycle),
+              static_cast<long long>(last_cycle),
+              static_cast<long long>(active_cycles),
+              static_cast<long long>(span),
+              100.0 * static_cast<double>(active_cycles) /
+                  static_cast<double>(span),
+              static_cast<long long>(max_gap));
+
+  std::printf("event counts:\n");
+  for (const auto& [event, count] : counts) {
+    std::printf("  %-18s %lld\n", event.c_str(),
+                static_cast<long long>(count));
+  }
+
+  // Gaps between consecutive distinct active cycles: bucket b >= 1
+  // counts gaps in [2^(b-1), 2^b) — bucket 1 is back-to-back cycles,
+  // everything above it is span the event engine would skip.
+  std::printf("inter-event cycle gaps (log2 buckets):\n");
+  const auto& buckets = gap_hist.buckets();
+  for (std::size_t b = 1; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const std::int64_t lo = std::int64_t{1} << (b - 1);
+    const std::int64_t hi = (std::int64_t{1} << b) - 1;
+    if (lo == hi) {
+      std::printf("  %11lld  %lld\n", static_cast<long long>(lo),
+                  static_cast<long long>(buckets[b]));
+    } else {
+      std::printf("  %4lld..%-5lld  %lld\n", static_cast<long long>(lo),
+                  static_cast<long long>(hi),
+                  static_cast<long long>(buckets[b]));
+    }
+  }
+
+  std::vector<std::pair<int, std::array<std::int64_t, 3>>> hottest(
+      router_events.begin(), router_events.end());
+  std::sort(hottest.begin(), hottest.end(), [](const auto& a, const auto& b) {
+    const std::int64_t ta = a.second[0] + a.second[1] + a.second[2];
+    const std::int64_t tb = b.second[0] + b.second[1] + b.second[2];
+    return ta != tb ? ta > tb : a.first < b.first;
+  });
+  if (hottest.size() > static_cast<std::size_t>(std::max(top, 0))) {
+    hottest.resize(static_cast<std::size_t>(std::max(top, 0)));
+  }
+  std::printf("hottest routers (inject/forward/arrive):\n");
+  for (const auto& [router, ev] : hottest) {
+    std::printf("  router %-6d %lld = %lld/%lld/%lld\n", router,
+                static_cast<long long>(ev[0] + ev[1] + ev[2]),
+                static_cast<long long>(ev[0]),
+                static_cast<long long>(ev[1]),
+                static_cast<long long>(ev[2]));
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const util::CliArgs args = util::CliArgs::parse(argc, argv);
   if (args.command() == "suite" || args.command() == "keys" ||
-      args.command() == "diff" || args.command() == "report") {
+      args.command() == "diff" || args.command() == "report" ||
+      args.command() == "trace-stats") {
     // A malformed option value (e.g. --rtol bogus) is a bad invocation
     // (exit 2), not a drift/failure result (exit 1).
     try {
       if (args.command() == "suite") return run_suite(args);
       if (args.command() == "keys") return run_keys(args);
       if (args.command() == "report") return run_report(args);
+      if (args.command() == "trace-stats") return run_trace_stats(args);
       return run_diff(args);
     } catch (const util::CliError& e) {
       std::fprintf(stderr, "pf_sim %s: %s\n", args.command().c_str(),
@@ -426,12 +595,13 @@ int run(int argc, char** argv) {
   if (!args.command().empty()) {
     std::fprintf(stderr,
                  "pf_sim: unknown subcommand '%s' (known: suite, keys, "
-                 "diff, report)\n",
+                 "diff, report, trace-stats)\n",
                  args.command().c_str());
     usage_suite(stderr);
     usage_keys(stderr);
     usage_diff(stderr);
     usage_report(stderr);
+    usage_trace_stats(stderr);
     return 2;
   }
   if (!args.positionals().empty()) {
@@ -457,6 +627,12 @@ int run(int argc, char** argv) {
   config.measure_cycles = static_cast<int>(args.integer_or("measure", 4000));
   config.drain_cycles = static_cast<int>(args.integer_or("drain", 8000));
   config.seed = static_cast<std::uint64_t>(args.integer_or("seed", 42));
+  if (args.has("engine") &&
+      !sim::parse_engine(args.str("engine"), config.engine)) {
+    std::fprintf(stderr, "pf_sim: unknown engine '%s' (event/cycle)\n",
+                 args.str("engine").c_str());
+    return 2;
+  }
 
   // Telemetry is strictly additive: the simulated trajectory with it on
   // is bit-identical to a plain run. --trace implies --telemetry (the

@@ -72,7 +72,8 @@ inline std::string suite_config_json(const sim::SimConfig& config) {
          ", \"warmup\": " + std::to_string(config.warmup_cycles) +
          ", \"measure\": " + std::to_string(config.measure_cycles) +
          ", \"drain\": " + std::to_string(config.drain_cycles) +
-         ", \"seed\": " + std::to_string(config.seed) + "}";
+         ", \"seed\": " + std::to_string(config.seed) +
+         ", \"engine\": \"" + sim::engine_name(config.engine) + "\"}";
 }
 
 /// Prints one engine RunRecord as a table section (columns + saturation

@@ -1,0 +1,117 @@
+// Microbenchmarks: event-queue core vs cycle core throughput — the
+// acceptance configs of the event-engine change. Every case runs the
+// SAME simulation under SimEngine::Cycle (arg 0) and SimEngine::Event
+// (arg 1); the two produce bit-identical statistics (enforced by
+// test_sim/test_fault and the CI equivalence gate), so the cycles/s
+// counters compare pure stepping cost.
+//
+// Regimes (PF q=13 UGAL-PF unless noted), with packet_size 64 — large
+// messages (1 KiB at 16 B flits) and a single terminal per router make
+// packet *arrivals* rare even at moderate flit loads, which is exactly
+// the empty-cycle regime the event core targets:
+//   Sparse      load 0.01  — almost every cycle idle; the event core
+//                            jumps between injections (>= 3x required).
+//   Moderate    load 0.30  — ~0.9 packets/cycle network-wide.
+//   Saturation  load 1.00  — injection-limited; routers still sleep
+//                            through 64-cycle link serialization spans,
+//                            woken by exact credit/link-free hints.
+//   DrainTail   JF-993 (n=993, k=32, p=16) MIN at load 0.001 with a
+//                            long drain allowance: a big, nearly-idle
+//                            network dominated by straggler drain
+//                            (>= 2x required).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/polarfly.hpp"
+#include "sim/network.hpp"
+#include "sim/routing.hpp"
+#include "sim/traffic.hpp"
+#include "topo/jellyfish.hpp"
+
+namespace {
+
+pf::sim::SimEngine engine_of(const benchmark::State& state) {
+  return state.range(0) == 0 ? pf::sim::SimEngine::Cycle
+                             : pf::sim::SimEngine::Event;
+}
+
+void set_engine_label(benchmark::State& state) {
+  state.SetLabel(pf::sim::engine_name(engine_of(state)));
+}
+
+/// Shared harness: run the network repeatedly, counting simulated
+/// cycles per wall second (drain tails included — they are where the
+/// event core's idle skipping pays).
+void run_network(benchmark::State& state, pf::sim::Network& net,
+                 double load) {
+  std::int64_t cycles = 0;
+  bool first = true;
+  for (auto _ : state) {
+    if (!first) net.reset(load);
+    first = false;
+    net.run_phases();
+    benchmark::DoNotOptimize(net.accepted_load());
+    cycles += net.current_cycle();
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void bm_q13(benchmark::State& state, double load, int warmup, int measure,
+            int drain) {
+  const pf::core::PolarFly pf(13);
+  const pf::sim::DistanceOracle oracle(pf.graph());
+  const pf::sim::UgalRouting routing(pf.graph(), oracle, true, 2.0 / 3.0);
+  const auto endpoints = pf::sim::uniform_endpoints(pf.num_vertices(), 1);
+  const pf::sim::UniformTraffic pattern(
+      pf::sim::terminal_routers(endpoints));
+  pf::sim::SimConfig config;
+  config.packet_size = 64;
+  config.warmup_cycles = warmup;
+  config.measure_cycles = measure;
+  config.drain_cycles = drain;
+  config.engine = engine_of(state);
+  set_engine_label(state);
+  pf::sim::Network net(pf.graph(), endpoints, routing, pattern, config,
+                       load);
+  run_network(state, net, load);
+}
+
+void BM_StepEngineSparse(benchmark::State& state) {
+  bm_q13(state, 0.01, 2000, 20000, 8000);
+}
+BENCHMARK(BM_StepEngineSparse)->Arg(0)->Arg(1);
+
+void BM_StepEngineModerate(benchmark::State& state) {
+  bm_q13(state, 0.30, 500, 2000, 1000);
+}
+BENCHMARK(BM_StepEngineModerate)->Arg(0)->Arg(1);
+
+void BM_StepEngineSaturation(benchmark::State& state) {
+  bm_q13(state, 1.0, 500, 2000, 1000);
+}
+BENCHMARK(BM_StepEngineSaturation)->Arg(0)->Arg(1);
+
+void BM_StepEngineDrainTail(benchmark::State& state) {
+  const pf::topo::Jellyfish jf(993, 32, 7);
+  const pf::sim::DistanceOracle oracle(jf.graph());
+  const pf::sim::MinimalRouting routing(jf.graph(), oracle);
+  const auto endpoints = pf::sim::uniform_endpoints(jf.num_vertices(), 16);
+  const pf::sim::UniformTraffic pattern(
+      pf::sim::terminal_routers(endpoints));
+  pf::sim::SimConfig config;
+  config.packet_size = 64;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 40000;
+  config.drain_cycles = 50000;  // generous tail; both cores exit early
+  config.engine = engine_of(state);
+  set_engine_label(state);
+  const double load = 0.001;
+  pf::sim::Network net(jf.graph(), endpoints, routing, pattern, config,
+                       load);
+  run_network(state, net, load);
+}
+BENCHMARK(BM_StepEngineDrainTail)->Arg(0)->Arg(1);
+
+}  // namespace

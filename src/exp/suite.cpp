@@ -229,6 +229,12 @@ void parse_config(const JsonValue& value, const std::string& context,
     else if (key == "drain") config.drain_cycles = static_cast<int>(v.as_int());
     else if (key == "stall") config.stall_cycles = static_cast<int>(v.as_int());
     else if (key == "seed") config.seed = v.as_uint();
+    else if (key == "engine") {
+      if (!sim::parse_engine(v.as_string(), config.engine)) {
+        bad(context + ".engine",
+            "unknown engine '" + v.as_string() + "' (event/cycle)");
+      }
+    }
     else if (key == "telemetry") parse_telemetry(v, context + ".telemetry", config);
     else bad(context, "unknown config key '" + key + "'");
   }

@@ -11,6 +11,22 @@
 
 namespace pf::sim {
 
+const char* engine_name(SimEngine engine) {
+  return engine == SimEngine::Event ? "event" : "cycle";
+}
+
+bool parse_engine(const std::string& name, SimEngine& out) {
+  if (name == "event") {
+    out = SimEngine::Event;
+    return true;
+  }
+  if (name == "cycle") {
+    out = SimEngine::Cycle;
+    return true;
+  }
+  return false;
+}
+
 Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
                  const RoutingAlgorithm& routing,
                  const TrafficPattern& pattern, const SimConfig& config,
@@ -76,13 +92,34 @@ Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
   const auto num_channels =
       static_cast<std::size_t>(channel_offset_[static_cast<std::size_t>(n)]);
   channel_target_.reserve(num_channels);
+  channel_source_.reserve(num_channels);
+  channel_in_bit_.reserve(num_channels);
   in_channels_.assign(static_cast<std::size_t>(n), {});
   for (int v = 0; v < n; ++v) {
     for (const std::int32_t u : g.neighbors(v)) {
-      in_channels_[static_cast<std::size_t>(u)].push_back(
-          static_cast<int>(channel_target_.size()));
+      auto& in = in_channels_[static_cast<std::size_t>(u)];
+      in.push_back(static_cast<int>(channel_target_.size()));
       channel_target_.push_back(u);
+      channel_source_.push_back(v);
+      channel_in_bit_.push_back(static_cast<std::uint8_t>(
+          std::min<std::size_t>(in.size() - 1, 255)));
     }
+  }
+  // Event-core eligibility: the agenda keeps one in-channel bit per
+  // router, so it needs every in-degree <= 64. Denser routers fall back
+  // to the cycle core, which computes identical statistics.
+  std::size_t max_in_degree = 0;
+  for (const auto& in : in_channels_) {
+    max_in_degree = std::max(max_in_degree, in.size());
+  }
+  event_mode_ = config_.engine == SimEngine::Event && max_in_degree <= 64;
+  if (event_mode_) {
+    in_nonempty_.assign(static_cast<std::size_t>(n), 0);
+    const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+    wake_now_.assign(words, 0);
+    wake_next_.assign(words, 0);
+    agenda_tag_.assign(static_cast<std::size_t>(n),
+                       std::numeric_limits<std::int64_t>::min());
   }
   channel_occupancy_.assign(num_channels, 0);
   waiting_for_output_.assign(num_channels, 0);
@@ -158,7 +195,14 @@ void Network::reset_state() {
       load_ / static_cast<double>(std::max(1, config_.packet_size));
   const double log2_t = std::log2(
       static_cast<double>(std::max<std::size_t>(2, terminals_.size())));
-  scan_mode_ = config_.scan_injection || p * 2.0 * log2_t >= 1.0;
+  // The event core needs the heap: the injection schedule IS its wakeup
+  // source, and the scan assumes every cycle is visited.
+  scan_mode_ = (config_.scan_injection || p * 2.0 * log2_t >= 1.0) &&
+               !event_mode_;
+  // Hoist the constant denominator of injection_gap's inverse-CDF sample
+  // (one log1p per reset instead of one per packet); the division is
+  // unchanged, so every sampled gap is bit-identical.
+  inj_log1m_p_ = (p > 0.0 && p < 1.0) ? std::log1p(-p) : 0.0;
   terminal_rng_.clear();
   terminal_rng_.reserve(terminals_.size());
   next_inject_.assign(terminals_.size(), kNeverInject);
@@ -202,6 +246,14 @@ void Network::reset_state() {
   drain_seconds_ = 0.0;
   total_ejected_flits_ = 0;
   prev_total_flits_ = 0;
+  if (event_mode_) {
+    std::fill(in_nonempty_.begin(), in_nonempty_.end(), 0);
+    std::fill(wake_now_.begin(), wake_now_.end(), 0);
+    std::fill(wake_next_.begin(), wake_next_.end(), 0);
+    agenda_.clear();
+    std::fill(agenda_tag_.begin(), agenda_tag_.end(),
+              std::numeric_limits<std::int64_t>::min());
+  }
   if (has_timeline_) {
     next_fault_ = 0;
     any_dead_ = false;
@@ -249,7 +301,7 @@ std::int64_t Network::injection_gap(util::Rng& rng) const {
   // instead of one Bernoulli draw per terminal per cycle. failures =
   // floor(log(1-u)/log(1-p)) is the standard inverse transform.
   const double u = rng.uniform();
-  const double failures = std::floor(std::log1p(-u) / std::log1p(-p));
+  const double failures = std::floor(std::log1p(-u) / inj_log1m_p_);
   if (!(failures < static_cast<double>(kNeverInject))) return kNeverInject;
   return 1 + static_cast<std::int64_t>(std::max(0.0, failures));
 }
@@ -301,6 +353,7 @@ void Network::process_due_terminal(int t) {
   if (packet.measured) ++measured_generated_;
   injection_pool_[static_cast<std::size_t>(packet.src_router)].push_back(id);
   ++router_backlog_[static_cast<std::size_t>(packet.src_router)];
+  if (event_mode_) wake_router(packet.src_router, cycle_);
   if (telemetry_) {
     telemetry_->on_backlog(
         packet.src_router,
@@ -359,7 +412,7 @@ void Network::release_packet(int packet_id) {
   free_packets_.push_back(packet_id);
 }
 
-void Network::advance_faults() {
+bool Network::advance_faults() {
   // Delivered-flit window (faults present only): feed the previous
   // cycle's ejections into the sliding window and settle reconvergence
   // clocks that have re-entered their band.
@@ -388,6 +441,7 @@ void Network::advance_faults() {
     ++next_fault_;
   }
   if (changed) rebuild_degraded_view();
+  return changed;
 }
 
 void Network::apply_fault(const FaultEvent& event, std::size_t index) {
@@ -459,6 +513,10 @@ void Network::flush_dead_channel(int channel) {
   vc_nonempty_[c] = 0;
   channel_occupancy_[c] = 0;
   link_busy_until_[c] = 0;
+  if (event_mode_) {
+    in_nonempty_[static_cast<std::size_t>(target)] &=
+        ~(1ULL << channel_in_bit_[c]);
+  }
   router_backlog_[static_cast<std::size_t>(target)] -= flushed;
 }
 
@@ -566,7 +624,10 @@ void Network::drop_unreachable(int packet_id, int at_router) {
 /// Returns true when the packet left the current buffer.
 bool Network::try_dispatch(int packet_id, int at_router) {
   Packet& packet = packets_[static_cast<std::size_t>(packet_id)];
-  if (packet.ready > cycle_) return false;
+  if (packet.ready > cycle_) {
+    if (packet.ready < ev_hint_) ev_hint_ = packet.ready;
+    return false;
+  }
 
   // Incremental invalidation: a committed route whose remainder crosses a
   // link that has since died is re-pathed (or the packet disposed of per
@@ -582,15 +643,26 @@ bool Network::try_dispatch(int packet_id, int at_router) {
       packet.route.clear();
       packet.out_channel = -1;
       ++degradation_.rerouted;
-    } else if (reroute_mid(packet, at_router)) {
-      ++degradation_.rerouted;
-      if (telemetry_ && packet.trace_id >= 0) trace_route(packet, "reroute");
-    } else if (config_.faults.policy == FaultPolicy::Reinject) {
-      requeue_at_source(packet_id);
-      return true;  // caller pops the buffer slot
     } else {
-      drop_unreachable(packet_id, at_router);
-      return true;
+      ev_dirty_ = true;  // reroute_mid draws the shared RNG either way
+      if (reroute_mid(packet, at_router)) {
+        ++degradation_.rerouted;
+        if (telemetry_ && packet.trace_id >= 0) {
+          trace_route(packet, "reroute");
+        }
+      } else if (config_.faults.policy == FaultPolicy::Reinject) {
+        requeue_at_source(packet_id);
+        if (event_mode_) {
+          // The source's pool grew; it processes later this same cycle
+          // only if its id is still ahead of the agenda cursor.
+          wake_router(packet.src_router,
+                      packet.src_router > at_router ? cycle_ : cycle_ + 1);
+        }
+        return true;  // caller pops the buffer slot
+      } else {
+        drop_unreachable(packet_id, at_router);
+        return true;
+      }
     }
   }
 
@@ -602,6 +674,11 @@ bool Network::try_dispatch(int packet_id, int at_router) {
     if (packet.src_router == dst_router) {
       packet.route.push(packet.src_router);
     } else if (!has_timeline_) {
+      // Every branch below draws the shared RNG: the event core must
+      // revisit this router next cycle exactly when the cycle core's
+      // visit would draw again (notably pick_route failing every cycle
+      // for an unreachable Reinject-policy packet).
+      ev_dirty_ = true;
       routing_.route(*this, packet.src_router, dst_router, rng_,
                      packet.route);
       // The packet now queues for its chosen first link.
@@ -609,7 +686,8 @@ bool Network::try_dispatch(int packet_id, int at_router) {
           channel_id(packet.src_router, packet.route.hops[1]);
       ++waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
       if (telemetry_ && packet.trace_id >= 0) trace_route(packet, "route");
-    } else if (pick_route(packet.src_router, dst_router, packet.route)) {
+    } else if ((ev_dirty_ = true,
+                pick_route(packet.src_router, dst_router, packet.route))) {
       packet.out_channel =
           channel_id(packet.src_router, packet.route.hops[1]);
       ++waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
@@ -626,8 +704,10 @@ bool Network::try_dispatch(int packet_id, int at_router) {
 
   if (packet.hop == packet.route.len - 1) {
     // At the destination router: eject through the terminal's port.
-    if (terminal_eject_free_[static_cast<std::size_t>(
-            packet.dst_terminal)] > cycle_) {
+    const std::int64_t eject_free =
+        terminal_eject_free_[static_cast<std::size_t>(packet.dst_terminal)];
+    if (eject_free > cycle_) {
+      if (eject_free < ev_hint_) ev_hint_ = eject_free;
       return false;
     }
     eject(packet_id);
@@ -640,7 +720,10 @@ bool Network::try_dispatch(int packet_id, int at_router) {
     packet.out_channel = channel_id(at_router, next);
   }
   const auto out = static_cast<std::size_t>(packet.out_channel);
-  if (link_busy_until_[out] > cycle_) return false;  // link serializing
+  if (link_busy_until_[out] > cycle_) {  // link serializing
+    if (link_busy_until_[out] < ev_hint_) ev_hint_ = link_busy_until_[out];
+    return false;
+  }
 
   // packet.hop is still the 0-based index of the link being taken, so
   // the first hop lands in class 0 — matching the class assignment the
@@ -661,6 +744,12 @@ bool Network::try_dispatch(int packet_id, int at_router) {
   link_busy_until_[out] = cycle_ + config_.packet_size;
   channel_occupancy_[out] += config_.packet_size;
   ++router_backlog_[static_cast<std::size_t>(channel_target_[out])];
+  if (event_mode_) {
+    // The head arrives downstream next cycle (packet.ready below).
+    in_nonempty_[static_cast<std::size_t>(channel_target_[out])] |=
+        1ULL << channel_in_bit_[out];
+    wake_router(channel_target_[out], cycle_ + 1);
+  }
   if (telemetry_) {
     telemetry_->on_forward(out);
     telemetry_->on_class_enqueue(vc / subvcs_);
@@ -681,60 +770,123 @@ bool Network::try_dispatch(int packet_id, int at_router) {
   return true;
 }
 
-void Network::allocate_router(int v) {
+void Network::allocate_router(int v) { allocate_router_impl<false>(v); }
+
+template <bool kEvent>
+void Network::drain_channel(int v, int c) {
+  std::uint64_t mask = vc_nonempty_[static_cast<std::size_t>(c)];
+  while (mask != 0) {
+    // Highest VC first: higher hop classes are closer to delivery, and
+    // draining them first keeps overload from jamming the intermediate
+    // buffers with half-way packets.
+    const int vc = 63 - __builtin_clzll(mask);
+    mask &= ~(1ULL << vc);
+    const std::size_t ring = ring_of(c, vc);
+    const int packet_id =
+        ring_slots_[ring * static_cast<std::size_t>(vc_cap_packets_) +
+                    ring_head_[ring]];
+    if (try_dispatch(packet_id, v)) {
+      ring_head_[ring] = static_cast<std::uint16_t>(
+          (ring_head_[ring] + 1) % vc_cap_packets_);
+      const std::uint16_t remaining = --ring_size_[ring];
+      if (remaining == 0) {
+        vc_nonempty_[static_cast<std::size_t>(c)] &= ~(1ULL << vc);
+        if (kEvent && vc_nonempty_[static_cast<std::size_t>(c)] == 0) {
+          in_nonempty_[static_cast<std::size_t>(v)] &=
+              ~(1ULL << channel_in_bit_[static_cast<std::size_t>(c)]);
+        }
+      }
+      if (kEvent) {
+        ev_dirty_ = true;
+        if (static_cast<int>(remaining) + 1 == vc_cap_packets_) {
+          // Credit return from a previously-full ring: the upstream
+          // router may have a head blocked on exactly this VC. Same
+          // cycle if it still lies ahead of the agenda cursor.
+          const int u = channel_source_[static_cast<std::size_t>(c)];
+          wake_router(u, u > v ? cycle_ : cycle_ + 1);
+        }
+      }
+      channel_occupancy_[static_cast<std::size_t>(c)] -=
+          config_.packet_size;
+      --router_backlog_[static_cast<std::size_t>(v)];
+      if (telemetry_) telemetry_->on_class_dequeue(vc / subvcs_);
+    }
+  }
+}
+
+template <bool kEvent>
+void Network::allocate_router_impl(int v) {
   // Transit before injection: in-network packets get first claim on the
   // output links, otherwise saturated sources starve every through-flow
   // and the network gridlocks instead of plateauing.
   const auto& incoming = in_channels_[static_cast<std::size_t>(v)];
-  // Rotating priority: every router historically bumped its arbiter
-  // pointer once per cycle, so the pointer equals the cycle count —
-  // derive the start from cycle_ directly (bit-identical, and idle-router
-  // skipping cannot drift it).
-  const std::size_t start =
-      incoming.empty()
-          ? 0
-          : static_cast<std::size_t>(cycle_) % incoming.size();
-  for (std::size_t k = 0; k < incoming.size(); ++k) {
-    const int c = incoming[(start + k) % incoming.size()];
-    std::uint64_t mask = vc_nonempty_[static_cast<std::size_t>(c)];
-    while (mask != 0) {
-      // Highest VC first: higher hop classes are closer to delivery, and
-      // draining them first keeps overload from jamming the intermediate
-      // buffers with half-way packets.
-      const int vc = 63 - __builtin_clzll(mask);
-      mask &= ~(1ULL << vc);
-      const std::size_t ring = ring_of(c, vc);
-      const int packet_id =
-          ring_slots_[ring * static_cast<std::size_t>(vc_cap_packets_) +
-                      ring_head_[ring]];
-      if (try_dispatch(packet_id, v)) {
-        ring_head_[ring] = static_cast<std::uint16_t>(
-            (ring_head_[ring] + 1) % vc_cap_packets_);
-        const std::uint16_t remaining = --ring_size_[ring];
-        if (remaining == 0) {
-          vc_nonempty_[static_cast<std::size_t>(c)] &= ~(1ULL << vc);
+  if (kEvent) {
+    // Visit only channels with queued packets, in the order the full
+    // rotated walk would reach them (empty channels are no-ops there,
+    // so the drains are identical). A single candidate makes the
+    // rotation irrelevant and skips the modulo.
+    const std::uint64_t pending =
+        in_nonempty_[static_cast<std::size_t>(v)];
+    if (pending != 0) {
+      if ((pending & (pending - 1)) == 0) {
+        const int k = __builtin_ctzll(pending);
+        drain_channel<true>(v, incoming[static_cast<std::size_t>(k)]);
+      } else {
+        const std::size_t start =
+            static_cast<std::size_t>(cycle_) % incoming.size();
+        const std::uint64_t low =
+            start == 0 ? 0 : pending & ((1ULL << start) - 1);
+        std::uint64_t m = pending ^ low;  // indices >= start first
+        for (int pass = 0; pass < 2; ++pass) {
+          while (m != 0) {
+            const int k = __builtin_ctzll(m);
+            m &= m - 1;
+            drain_channel<true>(v, incoming[static_cast<std::size_t>(k)]);
+          }
+          m = low;  // then wrap to indices < start
         }
-        channel_occupancy_[static_cast<std::size_t>(c)] -=
-            config_.packet_size;
-        --router_backlog_[static_cast<std::size_t>(v)];
-        if (telemetry_) telemetry_->on_class_dequeue(vc / subvcs_);
       }
+    }
+  } else {
+    // Rotating priority: every router historically bumped its arbiter
+    // pointer once per cycle, so the pointer equals the cycle count —
+    // derive the start from cycle_ directly (bit-identical, and
+    // idle-router skipping cannot drift it).
+    const std::size_t start =
+        incoming.empty()
+            ? 0
+            : static_cast<std::size_t>(cycle_) % incoming.size();
+    for (std::size_t k = 0; k < incoming.size(); ++k) {
+      drain_channel<false>(v, incoming[(start + k) % incoming.size()]);
     }
   }
 
   // Injection pool last, first-come-first-served with a bounded scan.
+  // Single stable compaction pass: an element is examined while its
+  // live index (reads minus dispatches) is under the scan cap — the
+  // exact set the old erase-per-dispatch loop examined — and survivors
+  // slide down in order, O(pool) per call instead of O(pool) per grant.
   auto& pool = injection_pool_[static_cast<std::size_t>(v)];
   const std::size_t scan =
       std::min(pool.size(),
                static_cast<std::size_t>(
                    4 * endpoints_[static_cast<std::size_t>(v)] + 8));
-  for (std::size_t i = 0; i < pool.size() && i < scan;) {
-    if (try_dispatch(pool[i], v)) {
-      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+  std::size_t read = 0;
+  std::size_t write = 0;
+  std::size_t dispatched = 0;
+  while (read < pool.size() && read - dispatched < scan) {
+    if (try_dispatch(pool[read], v)) {
+      ++dispatched;
+      ++read;
       --router_backlog_[static_cast<std::size_t>(v)];
     } else {
-      ++i;
+      pool[write++] = pool[read++];
     }
+  }
+  if (dispatched != 0) {
+    if (kEvent) ev_dirty_ = true;
+    while (read < pool.size()) pool[write++] = pool[read++];
+    pool.resize(write);
   }
 }
 
@@ -754,7 +906,233 @@ void Network::step() {
   ++cycle_;
 }
 
+void Network::wake_router(int v, std::int64_t at) {
+  const auto word = static_cast<std::size_t>(v) >> 6;
+  const std::uint64_t bit = 1ULL << (static_cast<unsigned>(v) & 63);
+  if (at <= cycle_) {
+    wake_now_[word] |= bit;
+  } else if (at == cycle_ + 1) {
+    wake_next_[word] |= bit;
+  } else {
+    // Far wake: heap of (cycle, router), exact duplicates suppressed.
+    if (agenda_tag_[static_cast<std::size_t>(v)] == at) return;
+    agenda_tag_[static_cast<std::size_t>(v)] = at;
+    agenda_.emplace_back(at, v);
+    std::push_heap(agenda_.begin(), agenda_.end(), std::greater<>());
+  }
+}
+
+std::int64_t Network::next_activity_cycle() const {
+  for (const std::uint64_t w : wake_now_) {
+    if (w != 0) return cycle_;
+  }
+  std::int64_t at = std::numeric_limits<std::int64_t>::max();
+  if (!agenda_.empty()) at = agenda_.front().first;
+  if (!inject_heap_.empty()) at = std::min(at, inject_heap_.front().first);
+  if (has_timeline_ && next_fault_ < config_.faults.events.size()) {
+    at = std::min(at, config_.faults.events[next_fault_].cycle);
+  }
+  return std::max(at, cycle_);
+}
+
+void Network::process_event_cycle() {
+  if (has_timeline_ && advance_faults()) {
+    // Topology changed this cycle: flushes already requeued packets,
+    // committed routes may now cross dead links, revived links unblock
+    // heads — every queued packet anywhere may behave differently, so
+    // wake every backlogged router (this also keeps the shared-RNG
+    // re-path draws on the cycle core's schedule).
+    const int n = graph_.num_vertices();
+    for (int v = 0; v < n; ++v) {
+      if (router_backlog_[static_cast<std::size_t>(v)] != 0) {
+        wake_now_[static_cast<std::size_t>(v) >> 6] |=
+            1ULL << (static_cast<unsigned>(v) & 63);
+      }
+    }
+  }
+  inject_new_packets();
+  while (!agenda_.empty() && agenda_.front().first <= cycle_) {
+    const int v = agenda_.front().second;
+    std::pop_heap(agenda_.begin(), agenda_.end(), std::greater<>());
+    agenda_.pop_back();
+    wake_now_[static_cast<std::size_t>(v) >> 6] |=
+        1ULL << (static_cast<unsigned>(v) & 63);
+  }
+  // Drain due routers in ascending id — the order the cycle core's full
+  // scan visits them. Wakes produced for this same cycle (credits to a
+  // higher-id upstream, requeues to a higher-id source) only ever set
+  // bits ahead of the cursor, so one forward pass sees everything.
+  for (std::size_t w = 0; w < wake_now_.size(); ++w) {
+    while (wake_now_[w] != 0) {
+      const int b = __builtin_ctzll(wake_now_[w]);
+      wake_now_[w] &= wake_now_[w] - 1;
+      const int v = static_cast<int>((w << 6) + static_cast<std::size_t>(b));
+      if (router_backlog_[static_cast<std::size_t>(v)] == 0) continue;
+      ev_dirty_ = false;
+      ev_hint_ = std::numeric_limits<std::int64_t>::max();
+      allocate_router_impl<true>(v);
+      if (router_backlog_[static_cast<std::size_t>(v)] != 0) {
+        if (ev_dirty_) {
+          // Something moved or the shared RNG was drawn: the cycle
+          // core's next visit could act (or draw) too.
+          wake_next_[w] |= 1ULL << static_cast<unsigned>(b);
+        } else if (ev_hint_ != std::numeric_limits<std::int64_t>::max()) {
+          wake_router(v, ev_hint_);
+        }
+        // No hint and not dirty: every head is blocked on a full ring
+        // (the freeing pop wakes us) or an unroutable wait (fault
+        // events wake us); sleeping is exact.
+      }
+    }
+  }
+  if (telemetry_) telemetry_->end_cycle();
+  ++cycle_;
+  // wake_now_ was fully drained above; the swap hands it over as the
+  // (empty) accumulator and promotes next-cycle wakes for the new cycle_.
+  std::swap(wake_now_, wake_next_);
+}
+
+void Network::advance_window_gap(std::int64_t from, std::int64_t to) {
+  // First skipped cycle: feed the ejection delta left by the last
+  // processed cycle (its ejections landed after its advance_faults ran)
+  // and give pending recovery clocks their one chance to settle — past
+  // `from` every slot update subtracts, window_total_ is nonincreasing,
+  // and a clock that cannot settle at `from` cannot settle in the gap.
+  const std::int64_t delta = total_ejected_flits_ - prev_total_flits_;
+  prev_total_flits_ = total_ejected_flits_;
+  const auto slot = static_cast<std::size_t>(from % kRecoveryWindow);
+  window_total_ += delta - window_[slot];
+  window_[slot] = delta;
+  for (std::size_t i = 0; i < pending_recovery_.size();) {
+    if (static_cast<double>(window_total_) >= pending_recovery_[i].target) {
+      degradation_.reconvergence[pending_recovery_[i].slot] =
+          from - pending_recovery_[i].at;
+      pending_recovery_[i] = pending_recovery_.back();
+      pending_recovery_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  // Zero-fill the remaining skipped slots; after kRecoveryWindow of
+  // them the ring is all zero and later slots already are.
+  const std::int64_t fills =
+      std::min<std::int64_t>(to - from - 1, kRecoveryWindow);
+  for (std::int64_t k = 1; k <= fills; ++k) {
+    const auto s = static_cast<std::size_t>((from + k) % kRecoveryWindow);
+    window_total_ -= window_[s];
+    window_[s] = 0;
+  }
+}
+
+bool Network::advance_event(std::int64_t end, bool check_stall,
+                            bool drain_mode, std::int64_t stall_after) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  while (cycle_ < end) {
+    const bool outstanding =
+        measured_generated_ > measured_delivered_ + measured_lost_;
+    if (drain_mode && !outstanding) break;
+    // The watchdog's detection cycle: where the cycle core's post-step
+    // check first counts `stall_after` silent cycles. Activity at or
+    // past it never runs — the stall wins the tie. `outstanding` cannot
+    // change over a skipped span (injection and delivery are activity),
+    // so gating the cutoff on its current value is exact.
+    std::int64_t stop = end;
+    if (check_stall && outstanding && stall_after != kMax) {
+      stop = std::min(stop, last_delivery_cycle_ + stall_after);
+    }
+    const std::int64_t act = next_activity_cycle();
+    const std::int64_t target = std::min(act, stop);
+    if (target > cycle_) {
+      // Idle span [cycle_, target): no packet can move, no RNG can be
+      // drawn; account it in bulk and jump.
+      if (telemetry_) telemetry_->advance_idle(target - cycle_);
+      if (has_timeline_) advance_window_gap(cycle_, target);
+      cycle_ = target;
+    }
+    // The watchdog's detection cycle wins its tie with activity — the
+    // cycle core's post-step check fires before the next step runs.
+    if (check_stall && outstanding &&
+        cycle_ - last_delivery_cycle_ >= stall_after) {
+      stalled_ = true;
+      return false;
+    }
+    // Phase boundary: activity scheduled exactly at `end` belongs to
+    // the next phase (the cycle core processes cycle `end` under the
+    // next phase's flags), and a span cut short by the watchdog stop
+    // leaves cycle_ < act with nothing to process yet.
+    if (cycle_ >= end || cycle_ < act) break;
+    process_event_cycle();
+    if (check_stall &&
+        measured_generated_ > measured_delivered_ + measured_lost_ &&
+        cycle_ - last_delivery_cycle_ >= stall_after) {
+      stalled_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Network::run_phases_event() {
+  using clock = std::chrono::steady_clock;
+  const auto seconds_since = [](clock::time_point from,
+                                clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  };
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+  // Resync the agenda from live queue state: run_phases may follow
+  // direct step() calls (which use the cycle allocator and leave the
+  // agenda stale); after construction or reset() this scan is a no-op.
+  const int n = graph_.num_vertices();
+  std::fill(in_nonempty_.begin(), in_nonempty_.end(), 0);
+  for (std::size_t c = 0; c < channel_target_.size(); ++c) {
+    if (vc_nonempty_[c] != 0) {
+      in_nonempty_[static_cast<std::size_t>(channel_target_[c])] |=
+          1ULL << channel_in_bit_[c];
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (router_backlog_[static_cast<std::size_t>(v)] != 0) {
+      wake_now_[static_cast<std::size_t>(v) >> 6] |=
+          1ULL << (static_cast<unsigned>(v) & 63);
+    }
+  }
+
+  const auto phase0 = clock::now();
+  advance_event(cycle_ + config_.warmup_cycles, false, false, kMax);
+  const auto phase1 = clock::now();
+  warmup_seconds_ = seconds_since(phase0, phase1);
+
+  // Same watchdog threshold selection as the cycle core.
+  std::int64_t stall_after = kMax;
+  if (config_.stall_cycles > 0) {
+    stall_after = config_.stall_cycles;
+  } else if (config_.stall_cycles == 0 && config_.drain_cycles > 0) {
+    stall_after = config_.drain_cycles;
+  }
+
+  measuring_ = true;
+  measure_start_ = cycle_;
+  measure_end_ = cycle_ + config_.measure_cycles;
+  last_delivery_cycle_ = cycle_;
+  advance_event(measure_end_, true, false, stall_after);
+  measuring_ = false;
+  const auto phase2 = clock::now();
+  measure_seconds_ = seconds_since(phase1, phase2);
+
+  last_delivery_cycle_ = std::max(last_delivery_cycle_, cycle_);
+  if (!stalled_) {
+    advance_event(cycle_ + config_.drain_cycles, true, true, stall_after);
+  }
+  drain_seconds_ = seconds_since(phase2, clock::now());
+  if (telemetry_) telemetry_->flush_trace();
+}
+
 void Network::run_phases() {
+  if (event_mode_) {
+    run_phases_event();
+    return;
+  }
   using clock = std::chrono::steady_clock;
   const auto seconds_since = [](clock::time_point from, clock::time_point to) {
     return std::chrono::duration<double>(to - from).count();

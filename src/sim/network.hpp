@@ -96,6 +96,24 @@ struct DegradationStats {
   std::vector<std::int64_t> reconvergence;
 };
 
+/// Which core executes run_phases(). Both cores simulate the identical
+/// model and produce bit-identical statistics (gated in CI at rtol 0):
+///   - Event: a global (cycle, router) agenda wakes a router only when
+///     something can change for it (packet arrival, credit return,
+///     injection, fault event); cycles with an empty agenda are skipped
+///     wholesale, with telemetry windows and the fault recovery window
+///     advanced over the gap in bulk.
+///   - Cycle: the reference core; step() advances every backlogged
+///     router each cycle.
+/// The event core needs one agenda bit per incoming channel and falls
+/// back to the cycle core on routers with in-degree > 64.
+enum class SimEngine { Event, Cycle };
+
+/// "event" / "cycle" (suite key config.engine, pf_sim --engine).
+const char* engine_name(SimEngine engine);
+/// Parses an engine name; false (out untouched) if unrecognized.
+bool parse_engine(const std::string& name, SimEngine& out);
+
 struct SimConfig {
   int packet_size = 4;      ///< flits per packet
   int vcs = 16;             ///< virtual channels per input port
@@ -104,6 +122,8 @@ struct SimConfig {
   int measure_cycles = 4000;
   int drain_cycles = 8000;
   std::uint64_t seed = 42;
+  /// Simulator core for run_phases(); bit-identical either way.
+  SimEngine engine = SimEngine::Event;
   /// Force the linear-walk injection path regardless of load (reset()
   /// otherwise picks walk vs heap by arrival density). Bit-identical
   /// either way; the equivalence test sets it to pin the walk against a
@@ -278,13 +298,45 @@ class Network {
   void process_due_terminal(int t);
   void schedule_terminal(int t, std::int64_t at);
   void allocate_router(int v);
+  /// Shared allocator body; kEvent additionally maintains the agenda
+  /// (credit wakeups, in-channel masks, dirty/hint rearm inputs).
+  template <bool kEvent>
+  void allocate_router_impl(int v);
+  /// Drains one input channel: highest-VC-first grant attempts against
+  /// the rotating-priority snapshot, popping every winner.
+  template <bool kEvent>
+  void drain_channel(int v, int channel);
   bool try_dispatch(int packet_id, int at_router);  ///< grant check + move
   void eject(int packet_id);
   void release_packet(int packet_id);
 
+  // --- event core (engine = event; see run_phases_event) ---
+  /// Schedules router v to be examined at cycle `at` (clamped to now).
+  void wake_router(int v, std::int64_t at);
+  /// Earliest cycle at which anything can happen: a due wake bit, the
+  /// agenda heap top, the injection heap top, or the next fault event.
+  std::int64_t next_activity_cycle() const;
+  /// Runs all due work for cycle_ and advances it by one.
+  void process_event_cycle();
+  /// Event-core phase driver: advances to `end`, skipping idle spans
+  /// wholesale. Mirrors the cycle core's per-phase loop semantics
+  /// exactly (stall detection after each processed/skipped cycle,
+  /// drain early-exit before each). Returns false when the stall
+  /// watchdog fired.
+  bool advance_event(std::int64_t end, bool check_stall, bool drain_mode,
+                     std::int64_t stall_after);
+  void run_phases_event();
+  /// Bulk-advances the fault recovery window over skipped cycles
+  /// [from, to): feeds the final processed cycle's ejection delta at
+  /// `from` (where recovery can settle) and zero-fills the rest.
+  void advance_window_gap(std::int64_t from, std::int64_t to);
+
   // --- runtime-fault machinery (all no-ops when has_timeline_ is false) ---
   /// Applies events due this cycle and updates recovery tracking.
-  void advance_faults();
+  /// True when at least one topology event was applied (the event core
+  /// then wakes every backlogged router: any queued packet may need a
+  /// re-path, flush, or revived link this very cycle).
+  bool advance_faults();
   void apply_fault(const FaultEvent& event, std::size_t index);
   /// Kills both directions of (u, v) and evacuates their buffers.
   void kill_link(int u, int v);
@@ -339,6 +391,34 @@ class Network {
   std::vector<std::int64_t> next_inject_;
   std::vector<std::pair<std::int64_t, int>> inject_heap_;
   bool scan_mode_ = false;
+  /// Hoisted denominator of injection_gap's inverse-CDF sample,
+  /// log1p(-load/packet_size); the division itself is untouched so the
+  /// sampled gaps stay bit-identical to the unhoisted form.
+  double inj_log1m_p_ = 0.0;
+
+  // Event core (engine = event). A two-level agenda: bitmasks over
+  // routers for wakes due this cycle / next cycle (the overwhelmingly
+  // common cases: O(routers/64) per cycle, ascending router order for
+  // free), and a (cycle, router) min-heap for far-future hints with a
+  // per-router tag suppressing exact-duplicate pushes. Deterministic by
+  // construction: each cycle's due set is drained in ascending router
+  // id, and same-cycle wakes only ever target routers after the cursor.
+  bool event_mode_ = false;  ///< engine == Event && max in-degree <= 64
+  std::vector<std::int32_t> channel_source_;  ///< channel -> upstream
+  /// channel -> its bit in the target router's in_nonempty_ mask
+  /// (its index in in_channels_[target]); valid only in event mode.
+  std::vector<std::uint8_t> channel_in_bit_;
+  std::vector<std::uint64_t> in_nonempty_;  ///< per router, event mode
+  std::vector<std::uint64_t> wake_now_;     ///< due at cycle_
+  std::vector<std::uint64_t> wake_next_;    ///< due at cycle_ + 1
+  std::vector<std::pair<std::int64_t, std::int32_t>> agenda_;  ///< far wakes
+  std::vector<std::int64_t> agenda_tag_;  ///< last heap cycle per router
+  /// Per-allocate outputs of try_dispatch for the self-rearm decision:
+  /// dirty = state changed or the shared RNG was drawn (either forces a
+  /// next-cycle revisit); hint = earliest cycle a blocked head could
+  /// unblock for a reason nobody else will wake us for.
+  bool ev_dirty_ = false;
+  std::int64_t ev_hint_ = 0;
 
   // CSR-style directed channel indexing aligned with graph adjacency.
   std::vector<std::int64_t> channel_offset_;  ///< router -> first channel

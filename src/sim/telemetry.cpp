@@ -171,6 +171,23 @@ void TelemetryCollector::end_cycle() {
   if (window_fill_ >= window_width_) roll_window();
 }
 
+void TelemetryCollector::advance_idle(std::int64_t cycles) {
+  while (cycles > 0) {
+    // Chunk to the open window's remaining span; class_flits_ cannot
+    // change mid-span, so the occupancy integral is a single multiply.
+    // roll_window may double window_width_, hence the recomputation.
+    const std::int64_t chunk =
+        std::min(cycles, window_width_ - window_fill_);
+    for (std::size_t c = 0; c < cur_class_.size(); ++c) {
+      cur_class_[c] += class_flits_[c] * chunk;
+    }
+    window_fill_ += chunk;
+    cycles_seen_ += chunk;
+    cycles -= chunk;
+    if (window_fill_ >= window_width_) roll_window();
+  }
+}
+
 void TelemetryCollector::roll_window() {
   win_busy_.push_back(cur_busy_);
   win_class_.push_back(cur_class_);

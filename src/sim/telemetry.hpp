@@ -178,6 +178,11 @@ class TelemetryCollector {
   void on_delivery(std::int64_t latency, int hops);
   /// Called once per simulated cycle, after all movement.
   void end_cycle();
+  /// Bulk equivalent of `cycles` consecutive end_cycle() calls over an
+  /// idle span (no movement, so buffered occupancy is constant): the
+  /// event core accounts skipped cycles with this instead of stepping.
+  /// Exact — windows roll (and coalesce) at the same cycle boundaries.
+  void advance_idle(std::int64_t cycles);
 
   // --- tracing ---
   bool tracing() const { return trace_on_; }

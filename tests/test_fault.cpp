@@ -243,6 +243,77 @@ TEST(LiveFaults, LinkUpHealsAReinjectPartition) {
   EXPECT_GE(point.reconvergence[1], 0);
 }
 
+TEST(LiveFaults, EventEngineMatchesCycleOnFaultedRun) {
+  // The richest fault scenario (reinject policy, a full partition, then
+  // healing link_up events) run under both engines: every statistic and
+  // every degradation counter must match bit for bit. This exercises the
+  // event core's fault wake-all, requeue wakes, and the recovery-window
+  // telemetry across skipped spans.
+  exp::ScenarioSpec spec;
+  spec.topology = "df:a=2,h=1,p=2";
+  spec.routing = "MIN";
+  spec.config = small_config();
+  spec.config.drain_cycles = 20000;
+  spec.config.stall_cycles = 600;
+  spec.schedule.policy = "reinject";
+  spec.schedule.events = dragonfly_group_cut(150);
+  for (auto event : dragonfly_group_cut(400)) {
+    event.kind = "link_up";
+    spec.schedule.events.push_back(event);
+  }
+
+  spec.config.engine = sim::SimEngine::Cycle;
+  const exp::RunRecord cycle_record = run_case(spec);
+  spec.config.engine = sim::SimEngine::Event;
+  const exp::RunRecord event_record = run_case(spec);
+
+  ASSERT_EQ(cycle_record.points.size(), 1u);
+  ASSERT_EQ(event_record.points.size(), 1u);
+  const exp::RunPoint& c = cycle_record.points[0];
+  const exp::RunPoint& e = event_record.points[0];
+  EXPECT_EQ(e.accepted, c.accepted);
+  EXPECT_EQ(e.avg_latency, c.avg_latency);
+  EXPECT_EQ(e.p99_latency, c.p99_latency);
+  EXPECT_EQ(e.mean_hops, c.mean_hops);
+  EXPECT_EQ(e.cycles, c.cycles);
+  EXPECT_EQ(e.stalled, c.stalled);
+  EXPECT_EQ(e.dropped, c.dropped);
+  EXPECT_EQ(e.reinjected, c.reinjected);
+  EXPECT_EQ(e.rerouted, c.rerouted);
+  EXPECT_EQ(e.unreachable_dropped, c.unreachable_dropped);
+  EXPECT_EQ(e.unreachable_pairs, c.unreachable_pairs);
+  EXPECT_EQ(e.reconvergence, c.reconvergence);
+  EXPECT_GT(e.reinjected, 0);  // the scenario actually fired
+}
+
+TEST(LiveFaults, WatchdogFiresAcrossSkippedSpan) {
+  // A permanent partition under reinject livelocks the drain with only
+  // stranded packets left — exactly the state where the event core
+  // skips to its stall horizon in one jump. The watchdog must fire at
+  // the same cycle as under the cycle core, which steps there one
+  // no-progress cycle at a time.
+  exp::ScenarioSpec spec;
+  spec.topology = "df:a=2,h=1,p=2";
+  spec.routing = "MIN";
+  spec.config = small_config();
+  spec.config.drain_cycles = 20000;
+  spec.config.stall_cycles = 150;
+  spec.schedule.policy = "reinject";
+  spec.schedule.events = dragonfly_group_cut(150);
+
+  spec.config.engine = sim::SimEngine::Cycle;
+  const exp::RunRecord cycle_record = run_case(spec);
+  spec.config.engine = sim::SimEngine::Event;
+  const exp::RunRecord event_record = run_case(spec);
+
+  ASSERT_EQ(cycle_record.points.size(), 1u);
+  ASSERT_EQ(event_record.points.size(), 1u);
+  EXPECT_TRUE(event_record.points[0].stalled);
+  EXPECT_EQ(event_record.status, "stalled");
+  EXPECT_EQ(event_record.points[0].cycles, cycle_record.points[0].cycles);
+  EXPECT_LT(event_record.points[0].cycles, 2000);
+}
+
 // ---- apply_failures edge cases -------------------------------------------
 
 TEST(ApplyFailures, DuplicateExplicitLinksCollapse) {

@@ -319,6 +319,9 @@ TEST(Simulator, InjectionHeapMatchesReferenceScanBitExactly) {
   config.warmup_cycles = 300;
   config.measure_cycles = 500;
   config.drain_cycles = 1500;
+  // Pin the cycle core: the event core always uses the heap (scan mode
+  // is forced off there), which would turn this into heap vs heap.
+  config.engine = sim::SimEngine::Cycle;
 
   struct Case {
     const sim::RoutingAlgorithm* routing;
@@ -347,6 +350,129 @@ TEST(Simulator, InjectionHeapMatchesReferenceScanBitExactly) {
       EXPECT_EQ(heap_net.peak_vc_packets(), scan_net.peak_vc_packets());
       EXPECT_EQ(heap_net.converged(), scan_net.converged());
     }
+  }
+}
+
+/// Runs the same scenario under both engines and expects every measured
+/// statistic to match bit for bit.
+void expect_engines_bit_equal(const PfFixture& fx,
+                              const sim::RoutingAlgorithm& routing,
+                              const sim::TrafficPattern& pattern,
+                              sim::SimConfig config, double load) {
+  config.engine = sim::SimEngine::Cycle;
+  sim::Network cycle_net(fx.pf.graph(), fx.endpoints, routing, pattern,
+                         config, load);
+  cycle_net.run_phases();
+
+  config.engine = sim::SimEngine::Event;
+  sim::Network event_net(fx.pf.graph(), fx.endpoints, routing, pattern,
+                         config, load);
+  event_net.run_phases();
+
+  EXPECT_EQ(event_net.accepted_load(), cycle_net.accepted_load()) << load;
+  EXPECT_EQ(event_net.avg_latency(), cycle_net.avg_latency()) << load;
+  EXPECT_EQ(event_net.p99_latency(), cycle_net.p99_latency()) << load;
+  EXPECT_EQ(event_net.delivered_packets(), cycle_net.delivered_packets());
+  EXPECT_EQ(event_net.measured_hops(), cycle_net.measured_hops());
+  EXPECT_EQ(event_net.peak_vc_packets(), cycle_net.peak_vc_packets());
+  EXPECT_EQ(event_net.converged(), cycle_net.converged());
+  EXPECT_EQ(event_net.current_cycle(), cycle_net.current_cycle()) << load;
+}
+
+TEST(EventEngine, MatchesCycleCoreBitExactly) {
+  // The event core must be a pure scheduling optimization: same routing,
+  // same RNG draws, same statistics — at sparse loads (long skipped
+  // spans) and moderate ones, under oblivious and adaptive routing.
+  PfFixture fx;
+  const sim::MinimalRouting min_routing(fx.pf.graph(), fx.oracle);
+  const sim::UgalRouting ugal(fx.pf.graph(), fx.oracle, true, 2.0 / 3.0);
+  const auto randperm = sim::PermutationTraffic::random(
+      sim::terminal_routers(fx.endpoints), 0xfeedULL);
+
+  sim::SimConfig config;
+  config.warmup_cycles = 300;
+  config.measure_cycles = 500;
+  config.drain_cycles = 1500;
+  for (const double load : {0.01, 0.05, 0.3}) {
+    expect_engines_bit_equal(fx, min_routing, fx.pattern, config, load);
+    expect_engines_bit_equal(fx, ugal, randperm, config, load);
+  }
+}
+
+TEST(EventEngine, AgendaTieBreakMatchesAscendingRouterOrder) {
+  // At saturation nearly every router wakes every cycle, so the agenda
+  // constantly pops same-cycle ties — and same-cycle ordering is
+  // observable: a credit freed at router v must be visible to an
+  // upstream u > v within the same cycle (the cycle core iterates
+  // ascending), and larger packets keep rings full so those same-cycle
+  // credit wakes dominate. Any tie-break deviation diverges from the
+  // cycle core here.
+  PfFixture fx;
+  const sim::UgalRouting ugal(fx.pf.graph(), fx.oracle, true, 2.0 / 3.0);
+
+  sim::SimConfig config;
+  config.warmup_cycles = 300;
+  config.measure_cycles = 500;
+  config.drain_cycles = 2500;
+  config.packet_size = 16;
+  for (const double load : {0.9, 1.0}) {
+    expect_engines_bit_equal(fx, ugal, fx.pattern, config, load);
+  }
+}
+
+TEST(EventEngine, GapTelemetryWindowsAreExact) {
+  // Telemetry must account skipped spans exactly: per-window link
+  // utilization and VC occupancy series, window coalescing boundaries,
+  // and peak tracking all match the cycle core even when the event core
+  // jumps hundreds of cycles at a time. Small windows + a small cap
+  // force rolls and coalesces to land inside skipped spans.
+  PfFixture fx;
+  const sim::MinimalRouting min_routing(fx.pf.graph(), fx.oracle);
+
+  sim::SimConfig config;
+  config.warmup_cycles = 300;
+  config.measure_cycles = 2000;
+  config.drain_cycles = 1500;
+  config.telemetry.enabled = true;
+  config.telemetry.window_cycles = 64;
+  config.telemetry.max_windows = 8;
+  config.telemetry.top_links = 4;
+
+  const double load = 0.02;  // sparse: most cycles are skipped
+  config.engine = sim::SimEngine::Cycle;
+  sim::Network cycle_net(fx.pf.graph(), fx.endpoints, min_routing,
+                         fx.pattern, config, load);
+  cycle_net.run_phases();
+  const sim::PointTelemetry a = cycle_net.collect_telemetry();
+
+  config.engine = sim::SimEngine::Event;
+  sim::Network event_net(fx.pf.graph(), fx.endpoints, min_routing,
+                         fx.pattern, config, load);
+  event_net.run_phases();
+  const sim::PointTelemetry b = event_net.collect_telemetry();
+
+  ASSERT_TRUE(a.present);
+  ASSERT_TRUE(b.present);
+  EXPECT_EQ(b.window, a.window);
+  EXPECT_EQ(b.latency_p50, a.latency_p50);
+  EXPECT_EQ(b.latency_p99, a.latency_p99);
+  EXPECT_EQ(b.latency_max, a.latency_max);
+  EXPECT_EQ(b.latency_hist, a.latency_hist);
+  EXPECT_EQ(b.hops_hist, a.hops_hist);
+  EXPECT_EQ(b.link_util_mean, a.link_util_mean);
+  EXPECT_EQ(b.link_util_max, a.link_util_max);
+  EXPECT_EQ(b.peak_backlog, a.peak_backlog);
+  EXPECT_EQ(b.peak_backlog_router, a.peak_backlog_router);
+  ASSERT_EQ(b.hot_links.size(), a.hot_links.size());
+  for (std::size_t i = 0; i < a.hot_links.size(); ++i) {
+    EXPECT_EQ(b.hot_links[i].u, a.hot_links[i].u) << i;
+    EXPECT_EQ(b.hot_links[i].v, a.hot_links[i].v) << i;
+    EXPECT_EQ(b.hot_links[i].util, a.hot_links[i].util) << i;
+    EXPECT_EQ(b.hot_links[i].series, a.hot_links[i].series) << i;
+  }
+  ASSERT_EQ(b.vc_occupancy.size(), a.vc_occupancy.size());
+  for (std::size_t c = 0; c < a.vc_occupancy.size(); ++c) {
+    EXPECT_EQ(b.vc_occupancy[c], a.vc_occupancy[c]) << c;
   }
 }
 
