@@ -84,13 +84,19 @@ void usage_suite(std::FILE* f) {
 void usage_report(std::FILE* f) {
   std::fputs(
       "usage: pf_sim report <records.json> [--top N]\n"
+      "       pf_sim report --compare <baseline.json> <candidate.json>\n"
       "  render a polarfly-run/1 (or bench-aggregate) document for "
       "humans:\n"
       "  per-point latency percentiles (p50/p99/p999/max), link "
       "utilization\n"
       "  and peak backlog from each record's telemetry block, plus the\n"
       "  top-N hottest links (default 8). Records without telemetry fall\n"
-      "  back to the plain sweep table.\n",
+      "  back to the plain sweep table.\n"
+      "  --compare BASELINE  side-by-side rendering of two documents:\n"
+      "  records pair up by key (diff's matching), each pair printing\n"
+      "  throughput/latency (and, with telemetry, percentile) tables\n"
+      "  with per-metric delta columns plus a perf summary. Rendering\n"
+      "  only — the pass/fail regression gate stays `pf_sim diff`.\n",
       f);
 }
 
@@ -427,9 +433,125 @@ int run_diff(const util::CliArgs& args) {
   return exp::print_diff_report(report, stdout) ? 0 : 1;
 }
 
+/// One matched record pair of `report --compare`: throughput/latency
+/// tables with baseline, candidate and delta columns, percentile tables
+/// when both sides carry telemetry, and a perf summary line.
+void print_compare_pair(const exp::RunRecord& base,
+                        const exp::RunRecord& cand) {
+  util::print_banner(base.label);
+  std::printf("%s | %s | %s | seed=%llu\n", base.topology.c_str(),
+              base.routing.c_str(), base.pattern.c_str(),
+              static_cast<unsigned long long>(base.seed));
+  if (!base.status.empty() || !cand.status.empty()) {
+    std::printf("status: baseline %s | candidate %s\n",
+                base.status.empty() ? "ok" : base.status.c_str(),
+                cand.status.empty() ? "ok" : cand.status.c_str());
+  }
+  const std::size_t points =
+      std::min(base.points.size(), cand.points.size());
+  if (base.points.size() != cand.points.size()) {
+    std::printf("point count differs: baseline %zu, candidate %zu "
+                "(comparing the first %zu)\n",
+                base.points.size(), cand.points.size(), points);
+  }
+
+  if (points != 0) {
+    util::Table thr({"offered", "acc(base)", "acc(cand)", "delta",
+                     "avg_lat(base)", "avg_lat(cand)", "delta",
+                     "p99(base)", "p99(cand)", "delta"});
+    for (std::size_t i = 0; i < points; ++i) {
+      const exp::RunPoint& b = base.points[i];
+      const exp::RunPoint& c = cand.points[i];
+      thr.row(b.offered, b.accepted, c.accepted, c.accepted - b.accepted,
+              b.avg_latency, c.avg_latency, c.avg_latency - b.avg_latency,
+              b.p99_latency, c.p99_latency, c.p99_latency - b.p99_latency);
+    }
+    thr.print();
+
+    bool both_telemetry = false;
+    for (std::size_t i = 0; i < points; ++i) {
+      both_telemetry = both_telemetry ||
+                       (base.points[i].telemetry.present &&
+                        cand.points[i].telemetry.present);
+    }
+    if (both_telemetry) {
+      util::Table pct({"offered", "p50(base)", "p50(cand)", "delta",
+                       "p999(base)", "p999(cand)", "delta", "max(base)",
+                       "max(cand)", "delta"});
+      for (std::size_t i = 0; i < points; ++i) {
+        const sim::PointTelemetry& b = base.points[i].telemetry;
+        const sim::PointTelemetry& c = cand.points[i].telemetry;
+        if (!b.present || !c.present) continue;
+        pct.row(base.points[i].offered,
+                static_cast<double>(b.latency_p50),
+                static_cast<double>(c.latency_p50),
+                static_cast<double>(c.latency_p50 - b.latency_p50),
+                static_cast<double>(b.latency_p999),
+                static_cast<double>(c.latency_p999),
+                static_cast<double>(c.latency_p999 - b.latency_p999),
+                static_cast<double>(b.latency_max),
+                static_cast<double>(c.latency_max),
+                static_cast<double>(c.latency_max - b.latency_max));
+      }
+      pct.print();
+    }
+  }
+
+  if (base.saturation_estimate > 0.0 || cand.saturation_estimate > 0.0) {
+    std::printf("saturation plateau: baseline %.3f | candidate %.3f | "
+                "delta %+.3f\n",
+                base.saturation_estimate, cand.saturation_estimate,
+                cand.saturation_estimate - base.saturation_estimate);
+  }
+  if (base.perf.cycles_per_sec > 0.0 && cand.perf.cycles_per_sec > 0.0) {
+    std::printf("throughput: baseline %.3g cycles/s | candidate %.3g "
+                "cycles/s | speedup %.2fx\n",
+                base.perf.cycles_per_sec, cand.perf.cycles_per_sec,
+                cand.perf.cycles_per_sec / base.perf.cycles_per_sec);
+  }
+}
+
 /// `pf_sim report <records.json>`: human-readable rendering of a
 /// document's telemetry — percentile tables, hot links, phase timings.
+/// With --compare BASELINE, a side-by-side delta rendering of two
+/// documents instead (records paired exactly like `pf_sim diff`).
 int run_report(const util::CliArgs& args) {
+  if (args.has("compare")) {
+    const std::string baseline_path = args.str("compare");
+    const std::string candidate_path = operand_or_usage(
+        args, 0, "candidate records file", "report", usage_report);
+    if (reject_stray_arguments(args, "report")) return 2;
+    const exp::RunDocument baseline =
+        load_run_document(baseline_path, "report", usage_report);
+    const exp::RunDocument candidate =
+        load_run_document(candidate_path, "report", usage_report);
+    // Reuse diff's record matching (key identity, duplicate keys by
+    // occurrence order); only the rendering differs from `diff`.
+    const exp::DiffReport matching =
+        exp::diff_documents(baseline, candidate);
+    std::map<std::string, std::vector<const exp::RunRecord*>> base_by_key,
+        cand_by_key;
+    for (const auto& record : baseline.records) {
+      base_by_key[exp::record_key(record)].push_back(&record);
+    }
+    for (const auto& record : candidate.records) {
+      cand_by_key[exp::record_key(record)].push_back(&record);
+    }
+    std::map<std::string, std::size_t> occurrence;
+    for (const std::string& key : matching.matched_keys) {
+      const std::size_t i = occurrence[key]++;
+      print_compare_pair(*base_by_key[key][i], *cand_by_key[key][i]);
+    }
+    for (const std::string& key : matching.only_in_baseline) {
+      std::printf("only in baseline: %s\n", key.c_str());
+    }
+    for (const std::string& key : matching.only_in_candidate) {
+      std::printf("only in candidate: %s\n", key.c_str());
+    }
+    std::printf("%zu record pair(s) compared\n",
+                matching.matched_keys.size());
+    return 0;
+  }
   const std::string path =
       operand_or_usage(args, 0, "records file", "report", usage_report);
   const int top = static_cast<int>(args.integer_or("top", 8));

@@ -6,8 +6,12 @@
 // polarfly-run/1 inputs are parsed record by record (the util/json
 // reader) and re-emitted per file with identical run keys deduplicated
 // across the whole aggregate — reruns of the same scenario collapse to
-// the first occurrence. Any other valid JSON (e.g. Google Benchmark's
-// --benchmark_out) is parsed for validity and embedded under "raw".
+// the first occurrence. Google Benchmark's --benchmark_out documents
+// are summarized into the same runs[] shape (one synthetic record per
+// iteration row: label = benchmark name, pattern = the bench's SetLabel
+// tag, cycles/s and real_time folded into perf) so pf_sim keys/diff/
+// report can read microbenchmark trajectories too. Any other valid
+// JSON is parsed for validity and embedded under "raw".
 #include <cstdio>
 #include <set>
 #include <string>
@@ -27,6 +31,43 @@ int usage() {
 std::string basename_of(const std::string& path) {
   const auto slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+double seconds_of(double value, const std::string& unit) {
+  if (unit == "ns") return value * 1e-9;
+  if (unit == "us") return value * 1e-6;
+  if (unit == "ms") return value * 1e-3;
+  return value;  // "s" (or unknown: leave unscaled)
+}
+
+/// One Google Benchmark iteration row -> a synthetic RunRecord that
+/// round-trips through parse_bench_aggregate: the benchmark name keys
+/// the record, its engine label (SetLabel) lands in `pattern`, and the
+/// throughput counter + per-iteration wall time land in perf.
+pf::exp::RunRecord summarize_gbench_row(const pf::util::JsonValue& row) {
+  pf::exp::RunRecord record;
+  record.label = row.at("name").as_string();
+  if (const auto* label = row.find("label");
+      label != nullptr && label->is_string()) {
+    record.pattern = label->as_string();
+  }
+  std::string unit = "ns";
+  if (const auto* u = row.find("time_unit");
+      u != nullptr && u->is_string()) {
+    unit = u->as_string();
+  }
+  if (const auto* rt = row.find("real_time"); rt != nullptr) {
+    record.perf.wall_seconds = seconds_of(rt->as_double(), unit);
+  }
+  if (const auto* rate = row.find("cycles/s"); rate != nullptr) {
+    record.perf.cycles_per_sec = rate->as_double();
+  }
+  return record;
+}
+
+bool is_gbench_document(const pf::util::JsonValue& parsed) {
+  const auto* benchmarks = parsed.find("benchmarks");
+  return benchmarks != nullptr && benchmarks->is_array();
 }
 
 }  // namespace
@@ -98,8 +139,34 @@ int main(int argc, char** argv) {
       }
       runs_json.end_array();
       runs_json.end_object();
+    } else if (is_gbench_document(parsed)) {
+      // Google Benchmark --benchmark_out document: summarize each
+      // iteration row as a synthetic record so keys/diff/report can
+      // read microbenchmark trajectories (aggregate rows — mean/
+      // median/stddev under repetitions — are skipped; the iteration
+      // rows carry the counters).
+      runs_json.begin_object();
+      runs_json.key("file").value(basename_of(path));
+      runs_json.key("tool").value("google-benchmark");
+      runs_json.key("records").begin_array();
+      for (const auto& row : parsed.at("benchmarks").items()) {
+        if (const auto* rt = row.find("run_type");
+            rt != nullptr && rt->is_string() &&
+            rt->as_string() != "iteration") {
+          continue;
+        }
+        const exp::RunRecord record = summarize_gbench_row(row);
+        if (!seen_keys.insert(exp::record_key(record)).second) {
+          ++duplicates;
+          continue;
+        }
+        exp::append_record_json(runs_json, record);
+        ++records_kept;
+      }
+      runs_json.end_array();
+      runs_json.end_object();
     } else {
-      // Foreign but valid JSON (micro-bench output): embed as parsed.
+      // Foreign but valid JSON: embed as parsed.
       raw_json.begin_object();
       raw_json.key("file").value(basename_of(path));
       raw_json.key("data");

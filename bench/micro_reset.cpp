@@ -1,0 +1,122 @@
+// Microbenchmarks: incremental Network::reset vs the full state
+// rebuild — the acceptance configs of the O(touched)-cost reset change.
+// Every case runs the SAME simulation with config.full_rebuild_reset
+// set (arg 0, the reference rebuild) and clear (arg 1, the dirty-list
+// fast path); the two are bit-identical (enforced by test_sim), so the
+// timings compare pure reset cost.
+//
+// Regimes:
+//   ResetCost      PF q=13 UGAL-PF at load 0.05 with a SHORT measure
+//                  window — each iteration runs one point then times
+//                  ONLY the reset back to the same load (PauseTiming
+//                  around the run). Short windows are exactly where
+//                  reset cost used to dominate many-point sweeps.
+//   SweepQ13       PF q=13: whole points (reset + run) end to end, the
+//                  cycles/s counter reporting sweep throughput.
+//   SweepQ31       PF q=31 p=16 (993 routers at radix 32, the paper's
+//                  Tab. V scale) on the auto-selected compact oracle:
+//                  one sweep point per iteration at low load.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/polarfly.hpp"
+#include "sim/network.hpp"
+#include "sim/routing.hpp"
+#include "sim/traffic.hpp"
+
+namespace {
+
+bool full_rebuild_of(const benchmark::State& state) {
+  return state.range(0) == 0;
+}
+
+void set_reset_label(benchmark::State& state) {
+  state.SetLabel(full_rebuild_of(state) ? "full-rebuild" : "incremental");
+}
+
+pf::sim::SimConfig short_window_config(const benchmark::State& state,
+                                       int warmup, int measure, int drain) {
+  pf::sim::SimConfig config;
+  config.packet_size = 64;
+  config.warmup_cycles = warmup;
+  config.measure_cycles = measure;
+  config.drain_cycles = drain;
+  config.full_rebuild_reset = full_rebuild_of(state);
+  return config;
+}
+
+/// Pure reset cost: run one point outside the timer, time the rewind.
+void bm_reset_cost(benchmark::State& state, int q, int endpoints_per,
+                   double load, int warmup, int measure, int drain) {
+  const pf::core::PolarFly pf(q);
+  const pf::sim::DistanceOracle oracle(pf.graph());
+  const pf::sim::UgalRouting routing(pf.graph(), oracle, true, 2.0 / 3.0);
+  const auto endpoints =
+      pf::sim::uniform_endpoints(pf.num_vertices(), endpoints_per);
+  const pf::sim::UniformTraffic pattern(
+      pf::sim::terminal_routers(endpoints));
+  const pf::sim::SimConfig config =
+      short_window_config(state, warmup, measure, drain);
+  set_reset_label(state);
+  pf::sim::Network net(pf.graph(), endpoints, routing, pattern, config,
+                       load);
+  for (auto _ : state) {
+    state.PauseTiming();
+    net.run_phases();  // dirty the state like a real sweep point
+    benchmark::DoNotOptimize(net.accepted_load());
+    state.ResumeTiming();
+    net.reset(load);
+  }
+}
+
+void BM_ResetCostQ13(benchmark::State& state) {
+  bm_reset_cost(state, 13, 1, 0.05, 200, 500, 4000);
+}
+BENCHMARK(BM_ResetCostQ13)->Arg(0)->Arg(1);
+
+void BM_ResetCostQ31(benchmark::State& state) {
+  bm_reset_cost(state, 31, 16, 0.02, 200, 500, 4000);
+}
+BENCHMARK(BM_ResetCostQ31)->Arg(0)->Arg(1);
+
+/// Whole sweep points (reset + run), counting simulated cycles per wall
+/// second — end-to-end sweep throughput with short measure windows.
+void bm_sweep(benchmark::State& state, int q, int endpoints_per,
+              double load, int warmup, int measure, int drain) {
+  const pf::core::PolarFly pf(q);
+  const pf::sim::DistanceOracle oracle(pf.graph());
+  const pf::sim::UgalRouting routing(pf.graph(), oracle, true, 2.0 / 3.0);
+  const auto endpoints =
+      pf::sim::uniform_endpoints(pf.num_vertices(), endpoints_per);
+  const pf::sim::UniformTraffic pattern(
+      pf::sim::terminal_routers(endpoints));
+  const pf::sim::SimConfig config =
+      short_window_config(state, warmup, measure, drain);
+  set_reset_label(state);
+  pf::sim::Network net(pf.graph(), endpoints, routing, pattern, config,
+                       load);
+  std::int64_t cycles = 0;
+  bool first = true;
+  for (auto _ : state) {
+    if (!first) net.reset(load);
+    first = false;
+    net.run_phases();
+    benchmark::DoNotOptimize(net.accepted_load());
+    cycles += net.current_cycle();
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_SweepQ13(benchmark::State& state) {
+  bm_sweep(state, 13, 1, 0.05, 200, 500, 4000);
+}
+BENCHMARK(BM_SweepQ13)->Arg(0)->Arg(1);
+
+void BM_SweepQ31(benchmark::State& state) {
+  bm_sweep(state, 31, 16, 0.02, 200, 500, 4000);
+}
+BENCHMARK(BM_SweepQ31)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -8,6 +8,17 @@
 namespace pf::exp {
 namespace {
 
+/// Rewinds `net` to `load`, folding the reset's wall time into the
+/// counters — reset cost on many-point sweeps is a first-class perf
+/// signal (it used to dominate short measure windows).
+void timed_reset(sim::Network& net, double load, SweepCounters& counters) {
+  const auto start = std::chrono::steady_clock::now();
+  net.reset(load);
+  counters.reset_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
 /// Runs one point on `net` (already reset to the right load) and folds
 /// the network's counters into the record-level aggregates.
 RunPoint run_point(sim::Network& net, SweepCounters& counters) {
@@ -85,7 +96,7 @@ void run_sweep_shard(const NetSetup& setup,
       counters.timed_out = true;
       return;
     }
-    if (i != offset) net.reset(loads[i]);
+    if (i != offset) timed_reset(net, loads[i], counters);
     points[i] = run_point(net, counters);
   }
 }
@@ -115,7 +126,7 @@ void run_sweep_claimed(const NetSetup& setup,
       counters.timed_out = true;
       return;
     }
-    if (!first) net.reset(loads[i]);
+    if (!first) timed_reset(net, loads[i], counters);
     points[i] = run_point(net, counters);
     first = false;
     i = claim();
@@ -138,6 +149,7 @@ void finish_sweep_record(RunRecord& record, const SweepCounters& counters,
                 static_cast<double>(counters.delivered)
           : 0.0;
   record.perf.peak_vc_occupancy = counters.peak_vc;
+  record.perf.reset_seconds = counters.reset_seconds;
   record.perf.warmup_seconds = counters.warmup_seconds;
   record.perf.measure_seconds = counters.measure_seconds;
   record.perf.drain_seconds = counters.drain_seconds;
@@ -228,7 +240,7 @@ RunRecord saturation_search(const NetSetup& setup,
   // By value: points reallocates as probes accumulate, so references
   // into it would dangle across probe() calls.
   const auto probe = [&](double load) -> RunPoint {
-    net.reset(load);
+    timed_reset(net, load, counters);
     record.points.push_back(run_point(net, counters));
     return record.points.back();
   };

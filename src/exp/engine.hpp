@@ -56,6 +56,7 @@ struct PerfCounters {
   // clock class like wall_seconds: serialized when nonzero, never
   // compared by pf_sim diff.
   double setup_seconds = 0.0;
+  double reset_seconds = 0.0;  ///< Network::reset calls between points
   double warmup_seconds = 0.0;
   double measure_seconds = 0.0;
   double drain_seconds = 0.0;
@@ -111,6 +112,7 @@ struct SweepCounters {
   int peak_vc = 0;             ///< deepest single VC ring seen
   bool timed_out = false;      ///< a shard abandoned points on its deadline
   sim::RecordTelemetry telemetry;  ///< merged per-point telemetry
+  double reset_seconds = 0.0;      ///< Network::reset wall time per shard
   double warmup_seconds = 0.0;     ///< phase wall time, summed over points
   double measure_seconds = 0.0;
   double drain_seconds = 0.0;
@@ -121,6 +123,7 @@ struct SweepCounters {
     peak_vc = peak_vc > other.peak_vc ? peak_vc : other.peak_vc;
     timed_out = timed_out || other.timed_out;
     telemetry.merge(other.telemetry);
+    reset_seconds += other.reset_seconds;
     warmup_seconds += other.warmup_seconds;
     measure_seconds += other.measure_seconds;
     drain_seconds += other.drain_seconds;

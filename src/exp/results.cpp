@@ -216,12 +216,14 @@ void print_report(const RunRecord& record, int top_links) {
   }
 
   const PerfCounters& perf = record.perf;
-  if (perf.setup_seconds > 0.0 || perf.warmup_seconds > 0.0 ||
-      perf.measure_seconds > 0.0 || perf.drain_seconds > 0.0) {
+  if (perf.setup_seconds > 0.0 || perf.reset_seconds > 0.0 ||
+      perf.warmup_seconds > 0.0 || perf.measure_seconds > 0.0 ||
+      perf.drain_seconds > 0.0) {
     std::printf(
-        "phases: setup %.3fs | warmup %.3fs | measure %.3fs | drain %.3fs\n",
-        perf.setup_seconds, perf.warmup_seconds, perf.measure_seconds,
-        perf.drain_seconds);
+        "phases: setup %.3fs | reset %.3fs | warmup %.3fs | measure %.3fs "
+        "| drain %.3fs\n",
+        perf.setup_seconds, perf.reset_seconds, perf.warmup_seconds,
+        perf.measure_seconds, perf.drain_seconds);
   }
 }
 
@@ -291,9 +293,11 @@ void append_record_json(util::JsonWriter& json, const RunRecord& record) {
   // Phase breakdown: wall-clock class (never diffed), omitted from
   // placeholder records that simulated nothing so legacy shapes and
   // skip/resume skeletons stay byte-stable.
-  if (record.perf.setup_seconds > 0.0 || record.perf.warmup_seconds > 0.0 ||
+  if (record.perf.setup_seconds > 0.0 || record.perf.reset_seconds > 0.0 ||
+      record.perf.warmup_seconds > 0.0 ||
       record.perf.measure_seconds > 0.0 || record.perf.drain_seconds > 0.0) {
     json.key("setup_seconds").value(record.perf.setup_seconds);
+    json.key("reset_seconds").value(record.perf.reset_seconds);
     json.key("warmup_seconds").value(record.perf.warmup_seconds);
     json.key("measure_seconds").value(record.perf.measure_seconds);
     json.key("drain_seconds").value(record.perf.drain_seconds);
@@ -457,6 +461,8 @@ RunRecord parse_run_record(const util::JsonValue& r) {
           record.perf.peak_vc_occupancy = static_cast<int>(pvalue.as_int());
         } else if (pkey == "setup_seconds") {
           record.perf.setup_seconds = as_metric(pvalue);
+        } else if (pkey == "reset_seconds") {
+          record.perf.reset_seconds = as_metric(pvalue);
         } else if (pkey == "warmup_seconds") {
           record.perf.warmup_seconds = as_metric(pvalue);
         } else if (pkey == "measure_seconds") {

@@ -133,6 +133,25 @@ Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
   link_busy_until_.assign(num_channels, 0);
   injection_pool_.assign(static_cast<std::size_t>(n), {});
   router_backlog_.assign(static_cast<std::size_t>(n), 0);
+  channel_dirty_.assign(num_channels, 0);
+  router_dirty_.assign(static_cast<std::size_t>(n), 0);
+
+  // Capture the injection-stream snapshots the incremental reset
+  // restores: the fresh per-terminal state, the state after the single
+  // uniform draw of the first gap sample, and that draw's log1p(-u)
+  // (the offered load only enters the gap through the denominator, so
+  // the numerator is reusable across every reset).
+  next_inject_.assign(terminals_.size(), kNeverInject);
+  inj_snap0_.reserve(terminals_.size());
+  inj_snap1_.reserve(terminals_.size());
+  inj_log1m_u_.resize(terminals_.size());
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    util::Rng r(config_.seed +
+                0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(t) + 1));
+    inj_snap0_.push_back(r);
+    inj_log1m_u_[t] = std::log1p(-r.uniform());
+    inj_snap1_.push_back(r);
+  }
 
   has_timeline_ = !config_.faults.empty();
   if (has_timeline_) {
@@ -181,8 +200,17 @@ void Network::reset(double load) {
 }
 
 void Network::reset_state() {
-  std::fill(terminal_eject_free_.begin(), terminal_eject_free_.end(), 0);
-  std::fill(terminal_inject_free_.begin(), terminal_inject_free_.end(), 0);
+  if (config_.full_rebuild_reset) {
+    reset_injection_full();
+    reset_arrays_full();
+  } else {
+    reset_injection_fast();
+    reset_arrays_fast();
+  }
+  reset_scalars();
+}
+
+void Network::reset_injection_full() {
   // Rebuild every terminal's injection stream and schedule. The first
   // wakeup is sampled as if the previous injection happened at cycle -1,
   // so P(first injection at cycle 0) is exactly the per-cycle rate.
@@ -216,6 +244,63 @@ void Network::reset_state() {
       schedule_terminal(static_cast<int>(t), -1 + gap);
     }
   }
+}
+
+void Network::reset_injection_fast() {
+  // Same schedule as reset_injection_full, without re-deriving any RNG
+  // stream: restore the captured states and recompute each first gap
+  // from the captured log1p(-u) — injection_gap's exact floor(log1p(-u)
+  // / log1p(-p)) arithmetic on the exact same doubles. The heap is
+  // rebuilt by one make_heap; a min-heap of distinct (time, terminal)
+  // pairs pops in an order determined by its contents alone, so the
+  // layout difference vs. repeated push_heap is unobservable.
+  const double p =
+      load_ / static_cast<double>(std::max(1, config_.packet_size));
+  const double log2_t = std::log2(
+      static_cast<double>(std::max<std::size_t>(2, terminals_.size())));
+  scan_mode_ = (config_.scan_injection || p * 2.0 * log2_t >= 1.0) &&
+               !event_mode_;
+  inj_log1m_p_ = (p > 0.0 && p < 1.0) ? std::log1p(-p) : 0.0;
+  inject_heap_.clear();
+  if (p <= 0.0) {
+    // injection_gap returns kNeverInject without drawing: fresh streams.
+    terminal_rng_ = inj_snap0_;
+    std::fill(next_inject_.begin(), next_inject_.end(), kNeverInject);
+    return;
+  }
+  if (p >= 1.0) {
+    // injection_gap returns 1 without drawing: fresh streams, every
+    // terminal due at cycle -1 + 1 = 0.
+    terminal_rng_ = inj_snap0_;
+    std::fill(next_inject_.begin(), next_inject_.end(), 0);
+    if (!scan_mode_) {
+      for (std::size_t t = 0; t < terminals_.size(); ++t) {
+        inject_heap_.emplace_back(0, static_cast<int>(t));
+      }
+      std::make_heap(inject_heap_.begin(), inject_heap_.end(),
+                     std::greater<>());
+    }
+    return;
+  }
+  terminal_rng_ = inj_snap1_;  // the one uniform draw is consumed
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    const double failures = std::floor(inj_log1m_u_[t] / inj_log1m_p_);
+    if (!(failures < static_cast<double>(kNeverInject))) {
+      next_inject_[t] = kNeverInject;
+      continue;
+    }
+    const std::int64_t at =
+        static_cast<std::int64_t>(std::max(0.0, failures));  // -1 + gap
+    next_inject_[t] = at;
+    if (!scan_mode_) inject_heap_.emplace_back(at, static_cast<int>(t));
+  }
+  if (!scan_mode_) {
+    std::make_heap(inject_heap_.begin(), inject_heap_.end(),
+                   std::greater<>());
+  }
+}
+
+void Network::reset_arrays_full() {
   std::fill(channel_occupancy_.begin(), channel_occupancy_.end(), 0);
   std::fill(waiting_for_output_.begin(), waiting_for_output_.end(), 0);
   std::fill(ring_head_.begin(), ring_head_.end(), 0);
@@ -224,9 +309,92 @@ void Network::reset_state() {
   std::fill(link_busy_until_.begin(), link_busy_until_.end(), 0);
   std::fill(router_backlog_.begin(), router_backlog_.end(), 0);
   for (auto& pool : injection_pool_) pool.clear();
+  // Dirty marking runs regardless of which reset path will consume it;
+  // the full clear leaves nothing dirty.
+  for (const std::int32_t c : dirty_channels_) {
+    channel_dirty_[static_cast<std::size_t>(c)] = 0;
+  }
+  dirty_channels_.clear();
+  for (const int v : dirty_routers_) {
+    router_dirty_[static_cast<std::size_t>(v)] = 0;
+  }
+  dirty_routers_.clear();
+  if (event_mode_) {
+    std::fill(in_nonempty_.begin(), in_nonempty_.end(), 0);
+    std::fill(agenda_tag_.begin(), agenda_tag_.end(),
+              std::numeric_limits<std::int64_t>::min());
+  }
+}
+
+void Network::reset_arrays_fast() {
+  // O(touched): only channels that ever buffered/reserved a packet and
+  // routers that ever had backlog since the previous reset are cleared.
+  //
+  // ring_head_ is deliberately NOT reset on this path: a VC ring's head
+  // offset is unobservable — pushes land at (head + size) % cap and pops
+  // read from head, so FIFO contents and order are identical for any
+  // head. Only ring_size_ carries simulation state.
+  //
+  // After a run that drained every packet (free list back to full) with
+  // no runtime fault timeline, the per-channel counters are already back
+  // at zero by their own accounting — occupancy and vc_nonempty fall on
+  // every pop, waiting_for_output_ on every source departure — and the
+  // only residue is link_busy_until_'s stale timestamps, which would
+  // read as "busy" against the restarted cycle counter.
+  const bool drained_clean =
+      !has_timeline_ && free_packets_.size() == packets_.size();
+  if (drained_clean) {
+    for (const std::int32_t ci : dirty_channels_) {
+      const auto c = static_cast<std::size_t>(ci);
+      link_busy_until_[c] = 0;
+      channel_dirty_[c] = 0;
+    }
+  } else if (dirty_channels_.size() * kBulkClearDiv >=
+             channel_occupancy_.size()) {
+    // Mostly-dirty after an aborted drain: scattered per-channel stores
+    // lose to the hardware's contiguous fill bandwidth.
+    std::fill(channel_occupancy_.begin(), channel_occupancy_.end(), 0);
+    std::fill(waiting_for_output_.begin(), waiting_for_output_.end(), 0);
+    std::fill(ring_size_.begin(), ring_size_.end(), 0);
+    std::fill(vc_nonempty_.begin(), vc_nonempty_.end(), 0);
+    std::fill(link_busy_until_.begin(), link_busy_until_.end(), 0);
+    for (const std::int32_t c : dirty_channels_) {
+      channel_dirty_[static_cast<std::size_t>(c)] = 0;
+    }
+  } else {
+    for (const std::int32_t ci : dirty_channels_) {
+      const auto c = static_cast<std::size_t>(ci);
+      channel_occupancy_[c] = 0;
+      waiting_for_output_[c] = 0;
+      vc_nonempty_[c] = 0;
+      link_busy_until_[c] = 0;
+      const std::size_t base = ring_of(ci, 0);
+      std::fill_n(ring_size_.begin() + static_cast<std::ptrdiff_t>(base),
+                  vcs_used_, std::uint16_t{0});
+      channel_dirty_[c] = 0;
+    }
+  }
+  dirty_channels_.clear();
+  for (const int v : dirty_routers_) {
+    const auto vi = static_cast<std::size_t>(v);
+    router_backlog_[vi] = 0;
+    injection_pool_[vi].clear();
+    if (event_mode_) {
+      in_nonempty_[vi] = 0;
+      agenda_tag_[vi] = std::numeric_limits<std::int64_t>::min();
+    }
+    router_dirty_[vi] = 0;
+  }
+  dirty_routers_.clear();
+}
+
+void Network::reset_scalars() {
+  std::fill(terminal_eject_free_.begin(), terminal_eject_free_.end(), 0);
+  std::fill(terminal_inject_free_.begin(), terminal_inject_free_.end(), 0);
   packets_.clear();
   free_packets_.clear();
   latencies_.clear();
+  active_routers_ = 0;
   cycle_ = 0;
   rng_ = util::Rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
   measuring_ = false;
@@ -247,12 +415,11 @@ void Network::reset_state() {
   total_ejected_flits_ = 0;
   prev_total_flits_ = 0;
   if (event_mode_) {
-    std::fill(in_nonempty_.begin(), in_nonempty_.end(), 0);
+    // O(routers / 64) words; the per-router agenda state is cleared by
+    // the array pass above.
     std::fill(wake_now_.begin(), wake_now_.end(), 0);
     std::fill(wake_next_.begin(), wake_next_.end(), 0);
     agenda_.clear();
-    std::fill(agenda_tag_.begin(), agenda_tag_.end(),
-              std::numeric_limits<std::int64_t>::min());
   }
   if (has_timeline_) {
     next_fault_ = 0;
@@ -352,7 +519,7 @@ void Network::process_due_terminal(int t) {
   packet.measured = measuring_;
   if (packet.measured) ++measured_generated_;
   injection_pool_[static_cast<std::size_t>(packet.src_router)].push_back(id);
-  ++router_backlog_[static_cast<std::size_t>(packet.src_router)];
+  backlog_inc(packet.src_router);
   if (event_mode_) wake_router(packet.src_router, cycle_);
   if (telemetry_) {
     telemetry_->on_backlog(
@@ -483,6 +650,7 @@ void Network::kill_link(int u, int v) {
 
 void Network::flush_dead_channel(int channel) {
   const auto c = static_cast<std::size_t>(channel);
+  mark_channel(c);
   const int target = channel_target_[c];
   int flushed = 0;
   for (int vc = 0; vc < vcs_used_; ++vc) {
@@ -517,7 +685,12 @@ void Network::flush_dead_channel(int channel) {
     in_nonempty_[static_cast<std::size_t>(target)] &=
         ~(1ULL << channel_in_bit_[c]);
   }
-  router_backlog_[static_cast<std::size_t>(target)] -= flushed;
+  if (flushed != 0) {
+    router_backlog_[static_cast<std::size_t>(target)] -= flushed;
+    if (router_backlog_[static_cast<std::size_t>(target)] == 0) {
+      --active_routers_;
+    }
+  }
 }
 
 void Network::rebuild_degraded_view() {
@@ -597,7 +770,7 @@ void Network::requeue_at_source(int packet_id) {
   ++degradation_.reinjected;
   injection_pool_[static_cast<std::size_t>(packet.src_router)]
       .push_back(packet_id);
-  ++router_backlog_[static_cast<std::size_t>(packet.src_router)];
+  backlog_inc(packet.src_router);
   if (telemetry_) {
     telemetry_->on_backlog(
         packet.src_router,
@@ -684,12 +857,14 @@ bool Network::try_dispatch(int packet_id, int at_router) {
       // The packet now queues for its chosen first link.
       packet.out_channel =
           channel_id(packet.src_router, packet.route.hops[1]);
+      mark_channel(static_cast<std::size_t>(packet.out_channel));
       ++waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
       if (telemetry_ && packet.trace_id >= 0) trace_route(packet, "route");
     } else if ((ev_dirty_ = true,
                 pick_route(packet.src_router, dst_router, packet.route))) {
       packet.out_channel =
           channel_id(packet.src_router, packet.route.hops[1]);
+      mark_channel(static_cast<std::size_t>(packet.out_channel));
       ++waiting_for_output_[static_cast<std::size_t>(packet.out_channel)];
       if (telemetry_ && packet.trace_id >= 0) trace_route(packet, "route");
     } else if (config_.faults.policy == FaultPolicy::Reinject) {
@@ -735,6 +910,7 @@ bool Network::try_dispatch(int packet_id, int at_router) {
     return false;  // no downstream credit
   }
   ++packet.hop;
+  mark_channel(out);
   ring_slots_[ring * static_cast<std::size_t>(vc_cap_packets_) +
               static_cast<std::size_t>((ring_head_[ring] + size) %
                                        vc_cap_packets_)] = packet_id;
@@ -743,7 +919,7 @@ bool Network::try_dispatch(int packet_id, int at_router) {
   vc_nonempty_[out] |= 1ULL << vc;
   link_busy_until_[out] = cycle_ + config_.packet_size;
   channel_occupancy_[out] += config_.packet_size;
-  ++router_backlog_[static_cast<std::size_t>(channel_target_[out])];
+  backlog_inc(channel_target_[out]);
   if (event_mode_) {
     // The head arrives downstream next cycle (packet.ready below).
     in_nonempty_[static_cast<std::size_t>(channel_target_[out])] |=
@@ -808,7 +984,7 @@ void Network::drain_channel(int v, int c) {
       }
       channel_occupancy_[static_cast<std::size_t>(c)] -=
           config_.packet_size;
-      --router_backlog_[static_cast<std::size_t>(v)];
+      backlog_dec(v);
       if (telemetry_) telemetry_->on_class_dequeue(vc / subvcs_);
     }
   }
@@ -878,7 +1054,7 @@ void Network::allocate_router_impl(int v) {
     if (try_dispatch(pool[read], v)) {
       ++dispatched;
       ++read;
-      --router_backlog_[static_cast<std::size_t>(v)];
+      backlog_dec(v);
     } else {
       pool[write++] = pool[read++];
     }
@@ -911,7 +1087,15 @@ void Network::wake_router(int v, std::int64_t at) {
   const std::uint64_t bit = 1ULL << (static_cast<unsigned>(v) & 63);
   if (at <= cycle_) {
     wake_now_[word] |= bit;
-  } else if (at == cycle_ + 1) {
+  } else if (at == cycle_ + 1 ||
+             active_routers_ * kSaturatedDen >=
+                 graph_.num_vertices() * kSaturatedNum) {
+    // Saturation fast path: with most routers backlogged the per-cycle
+    // wake-word scan is being paid anyway, so a far wake degrades to
+    // next-cycle polling instead of heap churn. Early visits of a
+    // blocked router are exact no-ops (no state change, no RNG draw) —
+    // the cycle core visits every backlogged router every cycle — so
+    // this changes cost only, never statistics.
     wake_next_[word] |= bit;
   } else {
     // Far wake: heap of (cycle, router), exact duplicates suppressed.

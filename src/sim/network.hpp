@@ -129,6 +129,12 @@ struct SimConfig {
   /// either way; the equivalence test sets it to pin the walk against a
   /// heap-chosen twin. Not part of any serialized schema.
   bool scan_injection = false;
+  /// Use the full O(network) state rebuild in reset() instead of the
+  /// default incremental path that only touches state dirtied since the
+  /// last run. Bit-identical either way; exists as the reference
+  /// implementation for the equivalence tests and as the "before" side
+  /// of bench/micro_reset. Not part of any serialized schema.
+  bool full_rebuild_reset = false;
   /// Progress watchdog: during measure/drain, if no packet is delivered
   /// for this many cycles while measured packets are outstanding, the
   /// run terminates with stalled() = true instead of spinning. 0 picks
@@ -175,7 +181,11 @@ class Network {
   /// Rewinds to the just-constructed state at a new offered load: all
   /// queues empty, cycle 0, RNG reseeded from config.seed. A reset
   /// network produces bit-identical statistics to a freshly constructed
-  /// one, without rebuilding the channel indexing.
+  /// one, without rebuilding the channel indexing. Cost is O(state
+  /// touched since the last reset), not O(network): per-channel and
+  /// per-router state is cleared off dirty lists and the injection
+  /// schedule is restored from construction-time RNG snapshots
+  /// (config.full_rebuild_reset selects the reference full rebuild).
   void reset(double load);
 
   /// The congestion adaptive routing reads for link u -> v: flits
@@ -288,6 +298,52 @@ class Network {
            static_cast<std::size_t>(vc);
   }
   void reset_state();
+  /// Reference injection-schedule rebuild: reconstructs every terminal
+  /// RNG stream from its seed and samples the first gap per terminal.
+  void reset_injection_full();
+  /// Incremental twin: restores the pre-captured post-first-draw RNG
+  /// states and derives each first wakeup in closed form from the
+  /// captured log1p(-u) — the draw itself is load-independent, only the
+  /// denominator log1p(-p) changes per reset. Bit-identical to the full
+  /// rebuild (the heap is refilled by make_heap; pop order from a
+  /// min-heap of distinct (time, terminal) pairs depends only on its
+  /// contents, never its layout).
+  void reset_injection_fast();
+  /// Reference O(network) array clear.
+  void reset_arrays_full();
+  /// Clears only channels/routers on the dirty lists (state touched
+  /// since the previous reset) — O(touched), not O(network).
+  void reset_arrays_fast();
+  /// Scalars, measurement, telemetry, and fault-residue reset shared by
+  /// both paths.
+  void reset_scalars();
+  /// First-touch dirty tracking feeding reset_arrays_fast. The byte
+  /// flags make re-marking free; the lists bound the clear cost.
+  void mark_channel(std::size_t c) {
+    if (!channel_dirty_[c]) {
+      channel_dirty_[c] = 1;
+      dirty_channels_.push_back(static_cast<std::int32_t>(c));
+    }
+  }
+  void mark_router(int v) {
+    if (!router_dirty_[static_cast<std::size_t>(v)]) {
+      router_dirty_[static_cast<std::size_t>(v)] = 1;
+      dirty_routers_.push_back(v);
+    }
+  }
+  /// Backlog transitions maintain the dirty-router list and the live
+  /// active-router count (the saturation fast-path signal).
+  void backlog_inc(int v) {
+    if (router_backlog_[static_cast<std::size_t>(v)]++ == 0) {
+      ++active_routers_;
+      mark_router(v);
+    }
+  }
+  void backlog_dec(int v) {
+    if (--router_backlog_[static_cast<std::size_t>(v)] == 0) {
+      --active_routers_;
+    }
+  }
   void inject_new_packets();
   /// Samples the gap (>= 1 cycles) to a terminal's next injection from
   /// its own stream; kNeverInject when the offered load is zero (or the
@@ -390,6 +446,15 @@ class Network {
   std::vector<util::Rng> terminal_rng_;
   std::vector<std::int64_t> next_inject_;
   std::vector<std::pair<std::int64_t, int>> inject_heap_;
+  // Construction-time capture for the incremental reset: the fresh
+  // per-terminal RNG states (inj_snap0_), the states after the one
+  // uniform draw the first gap sample consumes (inj_snap1_), and that
+  // draw's log1p(-u) — load-independent, so every reset can rebuild the
+  // schedule with one division per terminal instead of re-deriving the
+  // streams from splitmix and re-taking logs.
+  std::vector<util::Rng> inj_snap0_;
+  std::vector<util::Rng> inj_snap1_;
+  std::vector<double> inj_log1m_u_;
   bool scan_mode_ = false;
   /// Hoisted denominator of injection_gap's inverse-CDF sample,
   /// log1p(-load/packet_size); the division itself is untouched so the
@@ -441,6 +506,27 @@ class Network {
   /// Packets queued at each router (VC rings + injection pool); routers
   /// at zero are skipped by step() — the active-router worklist.
   std::vector<int> router_backlog_;
+  /// Routers with backlog > 0 right now. Above kSaturatedNum/Den of the
+  /// network the event core stops paying heap churn for far wakes and
+  /// polls via the next-cycle bitmask instead: an early visit of a
+  /// blocked router is a no-op that draws no RNG (every action in the
+  /// allocator is state/cycle-gated, exactly like the cycle core's
+  /// unconditional per-cycle visits), so the conversion is exact.
+  int active_routers_ = 0;
+  static constexpr int kSaturatedNum = 3;  ///< fast path at >= 3/4 active
+  static constexpr int kSaturatedDen = 4;
+  /// reset_arrays_fast switches from per-dirty-channel clears to the
+  /// contiguous full-array fills once more than 1/kBulkClearDiv of the
+  /// channels are dirty (scattered stores lose to fill bandwidth there).
+  static constexpr std::size_t kBulkClearDiv = 8;
+
+  // Dirty tracking for the incremental reset: channels that ever held or
+  // reserved a packet and routers that ever had backlog since the last
+  // reset. reset_arrays_fast clears exactly these.
+  std::vector<std::int32_t> dirty_channels_;
+  std::vector<char> channel_dirty_;
+  std::vector<int> dirty_routers_;
+  std::vector<char> router_dirty_;
 
   std::vector<Packet> packets_;
   std::vector<int> free_packets_;

@@ -8,32 +8,57 @@
 
 namespace pf::sim {
 
-DistanceOracle::DistanceOracle(const graph::Graph& g) : n_(g.num_vertices()) {
-  dist_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
-               -1);
+DistanceOracle::DistanceOracle(const graph::Graph& g, OracleMode mode)
+    : n_(g.num_vertices()) {
+  compact_ = mode == OracleMode::Compact ||
+             (mode == OracleMode::Auto && n_ >= kCompactThreshold);
+  build(g);
+  if (compact_ && diameter_ > 127) {
+    // int8 cannot hold these distances (already truncated in dist8_);
+    // rebuild wide. Only path-like graphs far outside the paper's
+    // design space get here.
+    compact_ = false;
+    dist8_.clear();
+    dist8_.shrink_to_fit();
+    build(g);
+  }
+}
+
+void DistanceOracle::build(const graph::Graph& g) {
+  const std::size_t cells =
+      static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  if (compact_) {
+    dist8_.assign(cells, -1);
+  } else {
+    dist_.assign(cells, -1);
+  }
   std::vector<int> diameters(static_cast<std::size_t>(n_), 0);
   util::parallel_for(0, static_cast<std::size_t>(n_), [&](std::size_t src) {
     const auto row = graph::bfs_distances(g, static_cast<int>(src));
     int local_max = 0;
     for (int v = 0; v < n_; ++v) {
-      dist_[src * static_cast<std::size_t>(n_) +
-            static_cast<std::size_t>(v)] =
-          static_cast<std::int16_t>(row[static_cast<std::size_t>(v)]);
-      local_max = std::max(local_max, row[static_cast<std::size_t>(v)]);
+      const int d = row[static_cast<std::size_t>(v)];
+      const std::size_t i = src * static_cast<std::size_t>(n_) +
+                            static_cast<std::size_t>(v);
+      if (compact_) {
+        dist8_[i] = static_cast<std::int8_t>(d);
+      } else {
+        dist_[i] = static_cast<std::int16_t>(d);
+      }
+      local_max = std::max(local_max, d);
     }
     diameters[src] = local_max;
   });
   diameter_ = *std::max_element(diameters.begin(), diameters.end());
 }
 
-void DistanceOracle::sample_min_path(const graph::Graph& g, int s, int d,
-                                     util::Rng& rng, Route& out) const {
-  if (out.len == 0 || out.back() != s) out.push(s);
-  // BFS distances on an undirected graph are symmetric, so all lookups
-  // can read along row d — contiguous and cache-resident for the whole
-  // descent, unlike one scattered row access per neighbor.
-  const std::int16_t* to_d = &dist_[static_cast<std::size_t>(d) *
-                                    static_cast<std::size_t>(n_)];
+namespace {
+
+/// The minimal-path descent shared by both storage widths. The distance
+/// values (and so every rng.below draw) are identical across widths.
+template <typename Dist>
+void sample_descent(const graph::Graph& g, const Dist* to_d, int s, int d,
+                    util::Rng& rng, Route& out) {
   int at = s;
   while (at != d) {
     const int remaining = to_d[at];
@@ -51,6 +76,23 @@ void DistanceOracle::sample_min_path(const graph::Graph& g, int s, int d,
     if (pick < 0) throw std::logic_error("min-path sampling: no descent");
     out.push(pick);
     at = pick;
+  }
+}
+
+}  // namespace
+
+void DistanceOracle::sample_min_path(const graph::Graph& g, int s, int d,
+                                     util::Rng& rng, Route& out) const {
+  if (out.len == 0 || out.back() != s) out.push(s);
+  // BFS distances on an undirected graph are symmetric, so all lookups
+  // can read along row d — contiguous and cache-resident for the whole
+  // descent, unlike one scattered row access per neighbor.
+  const std::size_t row = static_cast<std::size_t>(d) *
+                          static_cast<std::size_t>(n_);
+  if (compact_) {
+    sample_descent(g, &dist8_[row], s, d, rng, out);
+  } else {
+    sample_descent(g, &dist_[row], s, d, rng, out);
   }
 }
 

@@ -17,18 +17,43 @@
 
 namespace pf::sim {
 
+/// Storage mode for DistanceOracle: Full keeps the int16 matrix, Compact
+/// halves it to int8 (paper-scale graphs have single-digit diameters),
+/// Auto picks Compact once the graph reaches kCompactThreshold routers.
+/// Distance *values* are identical in every mode, so routing — and every
+/// committed baseline — is bit-identical regardless of the choice.
+enum class OracleMode { Auto, Full, Compact };
+
 /// All-pairs hop distances (BFS from every vertex, parallelized), plus
 /// uniform sampling of minimal paths.
 class DistanceOracle {
  public:
-  explicit DistanceOracle(const graph::Graph& g);
+  /// Auto mode: graphs with >= kCompactThreshold routers store int8
+  /// distances (PF q=31's ~1k and q=47's ~2.2k routers halve their
+  /// quadratic matrices); smaller graphs keep int16. A compact build
+  /// whose diameter overflows int8 transparently rebuilds as Full.
+  static constexpr int kCompactThreshold = 512;
+
+  explicit DistanceOracle(const graph::Graph& g,
+                          OracleMode mode = OracleMode::Auto);
 
   int distance(int u, int v) const {
-    return dist_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
-                 static_cast<std::size_t>(v)];
+    const std::size_t i =
+        static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+        static_cast<std::size_t>(v);
+    // int8 holds -1 for unreachable directly; sign extension preserves
+    // the full-mode contract (distance() < 0 checks keep working).
+    return compact_ ? static_cast<int>(dist8_[i])
+                    : static_cast<int>(dist_[i]);
   }
 
   int diameter() const { return diameter_; }
+  bool compact() const { return compact_; }
+  /// Bytes held by the distance matrix (footprint reporting).
+  std::size_t matrix_bytes() const {
+    return dist_.capacity() * sizeof(std::int16_t) +
+           dist8_.capacity() * sizeof(std::int8_t);
+  }
 
   /// Appends to `out` a uniformly random minimal path s .. d (inclusive;
   /// out typically starts empty or ending at s).
@@ -36,9 +61,13 @@ class DistanceOracle {
                        Route& out) const;
 
  private:
+  void build(const graph::Graph& g);
+
   int n_ = 0;
   int diameter_ = 0;
-  std::vector<std::int16_t> dist_;  ///< -1 when unreachable
+  bool compact_ = false;
+  std::vector<std::int16_t> dist_;  ///< -1 when unreachable (full mode)
+  std::vector<std::int8_t> dist8_;  ///< same contract (compact mode)
 };
 
 class RoutingAlgorithm {

@@ -74,6 +74,52 @@ TEST(DistanceOracle, MatchesBfsEverywherePf7AndTorus) {
   }
 }
 
+TEST(DistanceOracle, CompactMatchesFullEverywherePf7AndTorus) {
+  // Compact (int8) storage is a pure memory optimization: every distance
+  // value — and hence every routing decision and RNG draw downstream —
+  // must match the full int16 matrix. Both graphs sit below the Auto
+  // threshold, so each mode is forced explicitly.
+  const core::PolarFly pf7(7);
+  const topo::Torus torus(5, 2);
+  for (const graph::Graph* g : {&pf7.graph(), &torus.graph()}) {
+    const sim::DistanceOracle full(*g, sim::OracleMode::Full);
+    const sim::DistanceOracle compact(*g, sim::OracleMode::Compact);
+    ASSERT_FALSE(full.compact());
+    ASSERT_TRUE(compact.compact());
+    EXPECT_LT(compact.matrix_bytes(), full.matrix_bytes());
+    EXPECT_EQ(compact.diameter(), full.diameter());
+    const int n = g->num_vertices();
+    for (int s = 0; s < n; ++s) {
+      for (int v = 0; v < n; ++v) {
+        ASSERT_EQ(compact.distance(s, v), full.distance(s, v))
+            << "s=" << s << " v=" << v;
+      }
+    }
+    // Identical RNG streams must sample identical minimal routes: the
+    // storage mode is invisible to min-path descent.
+    util::Rng rng_full(123);
+    util::Rng rng_compact(123);
+    for (int s = 0; s < n; s += 3) {
+      for (int d = 0; d < n; d += 5) {
+        sim::Route a;
+        sim::Route b;
+        full.sample_min_path(*g, s, d, rng_full, a);
+        compact.sample_min_path(*g, s, d, rng_compact, b);
+        ASSERT_EQ(a.len, b.len) << "s=" << s << " d=" << d;
+        for (int h = 0; h < a.len; ++h) {
+          ASSERT_EQ(a.hops[static_cast<std::size_t>(h)],
+                    b.hops[static_cast<std::size_t>(h)]);
+        }
+      }
+    }
+  }
+  // Auto mode flips to compact storage at the router-count threshold:
+  // a 23x23 torus (529 routers) crosses it, PF q=7 (57) does not.
+  const topo::Torus big(23, 2);
+  EXPECT_TRUE(sim::DistanceOracle(big.graph()).compact());
+  EXPECT_FALSE(sim::DistanceOracle(pf7.graph()).compact());
+}
+
 TEST(DistanceOracle, SampleMinPathIsMinimalAndValid) {
   const core::PolarFly pf7(7);
   const topo::Torus torus(5, 2);
@@ -302,6 +348,116 @@ TEST(Simulator, ResetIsBitIdenticalToFreshConstruction) {
     EXPECT_EQ(stats->delivered_packets, reference.delivered_packets);
   }
   EXPECT_GT(reference.delivered_packets, 0);
+}
+
+/// Drives an incremental-reset network and a full-rebuild twin through
+/// the same reset+run sequence and expects bit-identical statistics
+/// after every leg. The incremental path must be indistinguishable no
+/// matter what the previous run left behind.
+void expect_reset_paths_bit_equal(const PfFixture& fx,
+                                  const sim::RoutingAlgorithm& routing,
+                                  const sim::TrafficPattern& pattern,
+                                  sim::SimConfig config,
+                                  const std::vector<double>& loads) {
+  sim::SimConfig fast_config = config;
+  fast_config.full_rebuild_reset = false;
+  sim::SimConfig full_config = config;
+  full_config.full_rebuild_reset = true;
+  sim::Network fast_net(fx.pf.graph(), fx.endpoints, routing, pattern,
+                        fast_config, loads.front());
+  sim::Network full_net(fx.pf.graph(), fx.endpoints, routing, pattern,
+                        full_config, loads.front());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (i > 0) {
+      fast_net.reset(loads[i]);
+      full_net.reset(loads[i]);
+    }
+    fast_net.run_phases();
+    full_net.run_phases();
+    EXPECT_EQ(fast_net.accepted_load(), full_net.accepted_load())
+        << "leg " << i << " load " << loads[i];
+    EXPECT_EQ(fast_net.avg_latency(), full_net.avg_latency()) << i;
+    EXPECT_EQ(fast_net.p99_latency(), full_net.p99_latency()) << i;
+    EXPECT_EQ(fast_net.delivered_packets(), full_net.delivered_packets());
+    EXPECT_EQ(fast_net.measured_hops(), full_net.measured_hops()) << i;
+    EXPECT_EQ(fast_net.peak_vc_packets(), full_net.peak_vc_packets()) << i;
+    EXPECT_EQ(fast_net.converged(), full_net.converged()) << i;
+    EXPECT_EQ(fast_net.stalled(), full_net.stalled()) << i;
+    EXPECT_EQ(fast_net.current_cycle(), full_net.current_cycle()) << i;
+  }
+}
+
+TEST(Simulator, IncrementalResetMatchesFullRebuildBothEngines) {
+  // The O(touched) reset must be bit-identical to the full state rebuild
+  // under both cores, across load swings that exercise all three clear
+  // tiers: a drained-clean rewind (low load), the scattered dirty-list
+  // path, and the mostly-dirty bulk-fill path (saturation).
+  PfFixture fx;
+  const sim::UgalRouting ugal(fx.pf.graph(), fx.oracle, true, 2.0 / 3.0);
+  sim::SimConfig config;
+  config.warmup_cycles = 200;
+  config.measure_cycles = 400;
+  config.drain_cycles = 2000;
+  for (const sim::SimEngine engine :
+       {sim::SimEngine::Event, sim::SimEngine::Cycle}) {
+    config.engine = engine;
+    expect_reset_paths_bit_equal(fx, ugal, fx.pattern, config,
+                                 {0.3, 0.05, 0.9, 0.3});
+  }
+}
+
+TEST(Simulator, IncrementalResetAfterFaultedRunMatchesFullRebuild) {
+  // A runtime fault timeline dirties state the drained-clean shortcut
+  // must not assume away (dead links, flushed packets, reroutes). After
+  // a faulted run, reset + rerun must still match the rebuild twin bit
+  // for bit — including re-arming the timeline itself.
+  PfFixture fx;
+  const sim::UgalRouting ugal(fx.pf.graph(), fx.oracle, true, 2.0 / 3.0);
+  sim::SimConfig config;
+  config.warmup_cycles = 200;
+  config.measure_cycles = 400;
+  config.drain_cycles = 4000;
+  config.faults.policy = sim::FaultPolicy::Reinject;
+  const int neighbor = fx.pf.graph().neighbors(0)[0];
+  config.faults.events.push_back(
+      {sim::FaultEvent::Kind::LinkDown, 150, 0, neighbor});
+  config.faults.events.push_back(
+      {sim::FaultEvent::Kind::LinkUp, 450, 0, neighbor});
+  for (const sim::SimEngine engine :
+       {sim::SimEngine::Event, sim::SimEngine::Cycle}) {
+    config.engine = engine;
+    expect_reset_paths_bit_equal(fx, ugal, fx.pattern, config,
+                                 {0.3, 0.5, 0.3});
+  }
+}
+
+TEST(Simulator, IncrementalResetAfterStalledRunMatchesFullRebuild) {
+  // A dead router under reinject policy livelocks the drain until the
+  // watchdog fires: the stalled run leaves packets in flight (the free
+  // list never refills), which the incremental reset must sweep up
+  // exactly like the rebuild does.
+  PfFixture fx;
+  const sim::MinimalRouting min_routing(fx.pf.graph(), fx.oracle);
+  sim::SimConfig config;
+  config.warmup_cycles = 200;
+  config.measure_cycles = 400;
+  config.drain_cycles = 20000;
+  config.stall_cycles = 150;
+  config.faults.policy = sim::FaultPolicy::Reinject;
+  config.faults.events.push_back(
+      {sim::FaultEvent::Kind::RouterDown, 150, 7, -1});
+  for (const sim::SimEngine engine :
+       {sim::SimEngine::Event, sim::SimEngine::Cycle}) {
+    config.engine = engine;
+    sim::SimConfig probe = config;
+    probe.full_rebuild_reset = false;
+    sim::Network net(fx.pf.graph(), fx.endpoints, min_routing, fx.pattern,
+                     probe, 0.4);
+    net.run_phases();
+    ASSERT_TRUE(net.stalled());  // the scenario must actually stall
+    expect_reset_paths_bit_equal(fx, min_routing, fx.pattern, config,
+                                 {0.4, 0.4, 0.2});
+  }
 }
 
 TEST(Simulator, InjectionHeapMatchesReferenceScanBitExactly) {

@@ -226,6 +226,28 @@ TEST(SuiteParse, CommittedPaperSuiteResolvesEverywhere) {
   }
 }
 
+TEST(SuiteParse, CommittedFullScaleSuiteResolvesEverywhere) {
+  // paper_figs_full.json is the Tab. V-scale companion: PF q=31/q=47 vs
+  // the iso-radix SF/DF/JF setups. Every topology must construct, every
+  // case must carry a wall-clock budget (these runs are hours, not
+  // seconds), and the paper-scale graphs must land on the compact
+  // distance-oracle path automatically.
+  const exp::Suite suite =
+      exp::load_suite(std::string(PF_SUITE_DIR) + "/paper_figs_full.json");
+  EXPECT_EQ(suite.name, "paper_figs_full");
+  EXPECT_GE(suite.cases.size(), 30u);
+  auto& registry = exp::ScenarioRegistry::shared();
+  for (const auto& cs : suite.cases) {
+    ASSERT_FALSE(cs.loads.empty() && !cs.saturation) << cs.spec.name;
+    EXPECT_GT(cs.timeout_seconds, 0.0) << cs.spec.name;
+    const exp::Scenario scenario = registry.make(cs.spec);
+    EXPECT_TRUE(exp::serves_all_terminals(*scenario.setup)) << cs.spec.name;
+    // Tab. V scale: every graph here has >= 512 routers, so Auto mode
+    // must have chosen int8 storage.
+    EXPECT_TRUE(scenario.setup->oracle->compact()) << cs.spec.name;
+  }
+}
+
 // ---- failure specs -------------------------------------------------------
 
 TEST(FailureSpec, SameSeedSameDamage) {
