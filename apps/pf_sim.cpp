@@ -12,6 +12,8 @@
 //          [--sat-tol 0.02] [--sat-iters 10]
 //   pf_sim ... --telemetry [--telemetry-window C] [--trace PATH
 //          [--trace-sample F] [--trace-seed S]]
+//   pf_sim ... --workload SPEC [--workload-out PATH]   (replay with
+//          --workload trace:file=PATH)
 //   pf_sim suite <file.json> [--json PATH|-] [--quiet] [--serial]
 //          [--case-workers N] [--checkpoint PATH [--resume]]
 //          [--progress [SECS]] [--telemetry]
@@ -171,6 +173,15 @@ int usage() {
       "  --trace PATH     sampled packet event trace as JSONL (implies\n"
       "                   --telemetry) [--trace-sample F (default 1.0)]\n"
       "                   [--trace-seed S]\n"
+      "  --workload SPEC  run a dependency-aware application workload\n"
+      "                   instead of Bernoulli traffic: alltoall,\n"
+      "                   ring_allreduce, rd_allreduce, stencil2d,\n"
+      "                   stencil3d, bursty, hotspot, incast, or\n"
+      "                   trace:file=PATH (replay a captured trace);\n"
+      "                   params attach as key=value, e.g.\n"
+      "                   \"alltoall:packets=2\"\n"
+      "  --workload-out PATH  capture the compiled workload as a\n"
+      "                   polarfly-trace/1 JSONL file for replay\n"
       "  --check-deadlock verify the routing's channel-dependency graph\n"
       "                   is acyclic instead of simulating\n"
       "                   [--classes N] [--samples S]\n"
@@ -794,6 +805,46 @@ int run(int argc, char** argv) {
   const auto pattern = exp::make_pattern(
       setup, args.str_or("pattern", "uniform"), config.seed);
 
+  // --workload switches the run into workload mode: the pattern then only
+  // provides the terminal -> router map (leave it at the default uniform).
+  // --workload-out captures the compiled workload as a polarfly-trace/1
+  // JSONL file; replay it with --workload trace:file=PATH.
+  std::shared_ptr<const sim::Workload> workload;
+  const std::string workload_spec = args.str_or("workload", "");
+  const std::string workload_out = args.str_or("workload-out", "");
+  if (!workload_spec.empty()) {
+    if (args.has("saturation-search")) {
+      std::fprintf(stderr,
+                   "pf_sim: --workload cannot combine with "
+                   "--saturation-search (a workload completes at any load "
+                   "— sweep fixed loads instead)\n");
+      return 2;
+    }
+    try {
+      workload = sim::Workload::make(
+          workload_spec, static_cast<int>(setup.terminals().size()),
+          config.seed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pf_sim: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!workload_out.empty()) {
+    if (workload == nullptr) {
+      std::fprintf(stderr,
+                   "pf_sim: --workload-out requires --workload SPEC\n");
+      return 2;
+    }
+    if (!util::write_text_file(workload_out, workload->to_trace())) {
+      std::fprintf(stderr, "pf_sim: cannot write workload trace '%s'\n",
+                   workload_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "workload trace: %s (%s, %d ranks, %d phases)\n",
+                 workload_out.c_str(), workload->name().c_str(),
+                 workload->num_ranks(), workload->num_phases());
+  }
+
   if (args.has("check-deadlock")) {
     // Dally-Seitz check instead of a simulation: build the channel
     // dependency graph of the chosen scheme under its (or --classes')
@@ -833,8 +884,10 @@ int run(int argc, char** argv) {
     return check.acyclic ? 0 : 1;
   }
 
+  const std::string traffic_name =
+      workload != nullptr ? workload->name() : pattern->name();
   const std::string label = inst.label + " / " + routing->name() + " / " +
-                            pattern->name() + " (p=" + std::to_string(p) +
+                            traffic_name + " (p=" + std::to_string(p) +
                             ")";
 
   exp::RunRecord run;
@@ -851,11 +904,22 @@ int run(int argc, char** argv) {
     } else {
       loads = {args.real_or("load", 0.5)};
     }
-    run = exp::run_sweep(setup, *routing, *pattern, config, loads, label);
+    run = exp::run_sweep(setup, *routing, *pattern, config, loads, label,
+                         0.0, workload.get());
   }
 
   const std::string pattern_kind = args.str_or("pattern", "uniform");
-  if (exp::pattern_uses_seed(pattern_kind)) run.pattern_seed = config.seed;
+  if (workload != nullptr) {
+    // Key off the compiled workload's canonical name, not the spec: a
+    // trace replay's spec is "trace:file=..." but its name keeps the
+    // captured generator, so seeded captures and replays stamp the same
+    // record identity (and diff clean at rtol 0).
+    if (sim::workload_uses_seed(workload->name())) {
+      run.pattern_seed = config.seed;
+    }
+  } else if (exp::pattern_uses_seed(pattern_kind)) {
+    run.pattern_seed = config.seed;
+  }
 
   if (config.telemetry.enabled) {
     exp::print_report(run, config.telemetry.top_links);

@@ -206,6 +206,29 @@ void compare_records(const RunRecord& baseline, const RunRecord& candidate,
                   b.reconvergence[e], c.reconvergence[e]);
       }
     }
+    // Workload completion accounting is integer-exact by construction
+    // (both engines and every scheduler produce bit-identical runs), so
+    // every field is compared exactly — tolerance never applies.
+    if (b.has_workload || c.has_workload) {
+      cmp.exact(at + "workload.present", b.has_workload ? 1 : 0,
+                c.has_workload ? 1 : 0);
+      cmp.exact(at + "workload.done", b.workload_done ? 1 : 0,
+                c.workload_done ? 1 : 0);
+      cmp.exact(at + "workload.completion_cycles", b.workload_completion,
+                c.workload_completion);
+      cmp.exact(at + "workload.lost", b.workload_lost, c.workload_lost);
+      if (b.workload_phase_cycles.size() != c.workload_phase_cycles.size()) {
+        cmp.exact(at + "workload.phase_cycles.count",
+                  static_cast<std::int64_t>(b.workload_phase_cycles.size()),
+                  static_cast<std::int64_t>(c.workload_phase_cycles.size()));
+      }
+      const std::size_t phases = std::min(b.workload_phase_cycles.size(),
+                                          c.workload_phase_cycles.size());
+      for (std::size_t p = 0; p < phases; ++p) {
+        cmp.exact(at + "workload.phase_cycles[" + std::to_string(p) + "]",
+                  b.workload_phase_cycles[p], c.workload_phase_cycles[p]);
+      }
+    }
     if (b.telemetry.present || c.telemetry.present) {
       compare_point_telemetry(cmp, at + "telemetry.", b.telemetry,
                               c.telemetry);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "util/parallel.hpp"
 
@@ -32,6 +33,13 @@ RunPoint run_point(sim::Network& net, SweepCounters& counters) {
   point.mean_hops = net.mean_hops();
   point.cycles = net.current_cycle();
   point.stalled = net.stalled();
+  if (net.workload_active()) {
+    point.has_workload = true;
+    point.workload_done = net.workload_done();
+    point.workload_completion = net.workload_completion_cycles();
+    point.workload_lost = net.workload_lost();
+    point.workload_phase_cycles = net.workload_phase_cycles();
+  }
   if (net.has_faults()) {
     const sim::DegradationStats& d = net.degradation();
     point.has_degradation = true;
@@ -62,12 +70,13 @@ RunRecord prepare_sweep_record(const NetSetup& setup,
                                const sim::TrafficPattern& pattern,
                                const sim::SimConfig& config,
                                std::size_t num_points,
-                               const std::string& label) {
+                               const std::string& label,
+                               const sim::Workload* workload) {
   RunRecord record;
   record.label = label;
   record.topology = setup.name;
   record.routing = routing.name();
-  record.pattern = pattern.name();
+  record.pattern = workload != nullptr ? workload->name() : pattern.name();
   record.routers = setup.graph.num_vertices();
   record.terminals = pattern.num_terminals();
   record.seed = config.seed;
@@ -81,13 +90,14 @@ void run_sweep_shard(const NetSetup& setup,
                      const sim::SimConfig& config,
                      const std::vector<double>& loads, std::size_t offset,
                      std::size_t stride, std::vector<RunPoint>& points,
-                     SweepCounters& counters, double timeout_seconds) {
+                     SweepCounters& counters, double timeout_seconds,
+                     const sim::Workload* workload) {
   if (offset >= loads.size()) return;
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration<double>(timeout_seconds);
   sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
-                   loads[offset]);
+                   loads[offset], workload);
   for (std::size_t i = offset; i < loads.size(); i += stride) {
     // The first owned point always runs (progress guarantee); later
     // points are abandoned once the per-case budget is spent.
@@ -108,13 +118,14 @@ void run_sweep_claimed(const NetSetup& setup,
                        const std::vector<double>& loads,
                        const std::function<std::size_t()>& claim,
                        std::vector<RunPoint>& points,
-                       SweepCounters& counters, double timeout_seconds) {
+                       SweepCounters& counters, double timeout_seconds,
+                       const sim::Workload* workload) {
   std::size_t i = claim();
   if (i >= loads.size()) return;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_seconds);
   sim::Network net(setup.graph, setup.endpoints, routing, pattern, config,
-                   loads[i]);
+                   loads[i], workload);
   bool first = true;
   while (i < loads.size()) {
     // Same progress guarantee as the strided shard: the first claimed
@@ -179,9 +190,10 @@ RunRecord run_sweep(const NetSetup& setup,
                     const sim::TrafficPattern& pattern,
                     const sim::SimConfig& config,
                     const std::vector<double>& loads,
-                    const std::string& label, double timeout_seconds) {
+                    const std::string& label, double timeout_seconds,
+                    const sim::Workload* workload) {
   RunRecord record = prepare_sweep_record(setup, routing, pattern, config,
-                                          loads.size(), label);
+                                          loads.size(), label, workload);
 
   // One Network per worker, rewound between its points: loads.size()
   // simulations share max `workers` channel-index constructions, and a
@@ -194,7 +206,7 @@ RunRecord run_sweep(const NetSetup& setup,
   const auto start = std::chrono::steady_clock::now();
   util::parallel_for(0, workers, [&](std::size_t w) {
     run_sweep_shard(setup, routing, pattern, config, loads, w, workers,
-                    record.points, counters[w], timeout_seconds);
+                    record.points, counters[w], timeout_seconds, workload);
   });
   const auto stop = std::chrono::steady_clock::now();
 
@@ -209,7 +221,8 @@ RunRecord run_sweep(const Scenario& scenario,
                     const std::vector<double>& loads,
                     double timeout_seconds) {
   return run_sweep(*scenario.setup, *scenario.routing, *scenario.pattern,
-                   scenario.config, loads, scenario.label, timeout_seconds);
+                   scenario.config, loads, scenario.label, timeout_seconds,
+                   scenario.workload.get());
 }
 
 RunRecord saturation_search(const NetSetup& setup,
@@ -291,6 +304,12 @@ RunRecord saturation_search(const NetSetup& setup,
 RunRecord saturation_search(const Scenario& scenario, double lo, double hi,
                             double tol, int max_iters,
                             double timeout_seconds) {
+  if (scenario.workload) {
+    throw std::invalid_argument(
+        "saturation_search: workload scenarios have no accepted-load "
+        "plateau to bisect (workload '" + scenario.workload->name() +
+        "'); sweep fixed loads instead");
+  }
   return saturation_search(*scenario.setup, *scenario.routing,
                            *scenario.pattern, scenario.config,
                            scenario.label, lo, hi, tol, max_iters,

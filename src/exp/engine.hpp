@@ -39,6 +39,15 @@ struct RunPoint {
   std::int64_t unreachable_pairs = 0;
   /// Per down-event reconvergence time in cycles (-1 = never recovered).
   std::vector<std::int64_t> reconvergence;
+  /// Workload completion accounting, valid (and serialized) only when the
+  /// point ran a dependency-aware workload instead of Bernoulli traffic.
+  /// All integer-exact: pf_sim diff compares them at rtol 0.
+  bool has_workload = false;
+  bool workload_done = false;          ///< every rank finished every phase
+  std::int64_t workload_completion = 0;  ///< completion cycle (budget if not done)
+  std::int64_t workload_lost = 0;        ///< packets lost to faults, counted as received
+  /// Cycle each phase globally completed, indexed by phase (-1 = never).
+  std::vector<std::int64_t> workload_phase_cycles;
   /// Histograms, exact percentiles and congestion series; present (and
   /// serialized) only when the point ran with telemetry enabled.
   sim::PointTelemetry telemetry;
@@ -133,12 +142,15 @@ struct SweepCounters {
 
 /// The record shell for a sweep: axes/provenance filled from the
 /// scenario, `points` resized to num_points, nothing simulated yet.
+/// A non-null `workload` stamps its canonical name as the record's
+/// pattern axis — the workload IS the traffic identity in workload mode.
 RunRecord prepare_sweep_record(const NetSetup& setup,
                                const sim::RoutingAlgorithm& routing,
                                const sim::TrafficPattern& pattern,
                                const sim::SimConfig& config,
                                std::size_t num_points,
-                               const std::string& label);
+                               const std::string& label,
+                               const sim::Workload* workload = nullptr);
 
 /// Simulates the strided shard {offset, offset+stride, ...} of `loads` on
 /// the calling thread, reusing ONE Network via reset() across its points.
@@ -154,7 +166,8 @@ void run_sweep_shard(const NetSetup& setup,
                      const sim::SimConfig& config,
                      const std::vector<double>& loads, std::size_t offset,
                      std::size_t stride, std::vector<RunPoint>& points,
-                     SweepCounters& counters, double timeout_seconds = 0.0);
+                     SweepCounters& counters, double timeout_seconds = 0.0,
+                     const sim::Workload* workload = nullptr);
 
 /// Like run_sweep_shard, but the set of points this worker simulates is
 /// drawn dynamically from `claim` (typically an atomic cursor shared by
@@ -174,7 +187,8 @@ void run_sweep_claimed(const NetSetup& setup,
                        const std::function<std::size_t()>& claim,
                        std::vector<RunPoint>& points,
                        SweepCounters& counters,
-                       double timeout_seconds = 0.0);
+                       double timeout_seconds = 0.0,
+                       const sim::Workload* workload = nullptr);
 
 /// Folds the merged counters and the measured wall time into record.perf
 /// (sim_cycles is summed from the record's points) and stamps
@@ -183,13 +197,17 @@ void finish_sweep_record(RunRecord& record, const SweepCounters& counters,
                          double wall_seconds);
 
 /// Sweeps the given loads. Points are simulated in parallel on the shared
-/// pool; each worker reuses one Network via reset().
+/// pool; each worker reuses one Network via reset(). A non-null
+/// `workload` switches every point into workload mode: the network runs
+/// the workload to completion (or its cycle budget) and the points carry
+/// completion-time accounting.
 RunRecord run_sweep(const NetSetup& setup,
                     const sim::RoutingAlgorithm& routing,
                     const sim::TrafficPattern& pattern,
                     const sim::SimConfig& config,
                     const std::vector<double>& loads,
-                    const std::string& label, double timeout_seconds = 0.0);
+                    const std::string& label, double timeout_seconds = 0.0,
+                    const sim::Workload* workload = nullptr);
 
 RunRecord run_sweep(const Scenario& scenario,
                     const std::vector<double>& loads,
@@ -210,6 +228,9 @@ RunRecord saturation_search(const NetSetup& setup,
                             int max_iters = 10,
                             double timeout_seconds = 0.0);
 
+/// Scenario overload. Throws std::invalid_argument for workload
+/// scenarios: a workload runs to completion at any load, so there is no
+/// accepted-load plateau to bisect — sweep fixed loads instead.
 RunRecord saturation_search(const Scenario& scenario, double lo = 0.05,
                             double hi = 1.0, double tol = 0.02,
                             int max_iters = 10, double timeout_seconds = 0.0);

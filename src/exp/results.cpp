@@ -1,5 +1,6 @@
 #include "exp/results.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -127,9 +128,50 @@ util::Table sweep_table(const RunRecord& record) {
   return table;
 }
 
+namespace {
+
+/// Completion-time rows for workload-mode records; no-op otherwise.
+void print_workload_completion(const RunRecord& record) {
+  bool any_workload = false;
+  for (const auto& point : record.points) {
+    any_workload = any_workload || point.has_workload;
+  }
+  if (!any_workload) return;
+  std::printf("workload completion (pattern %s):\n", record.pattern.c_str());
+  util::Table wl({"offered", "done", "completion_cycles", "lost", "phases"});
+  for (const auto& point : record.points) {
+    if (!point.has_workload) continue;
+    wl.row(point.offered, point.workload_done ? "yes" : "no",
+           static_cast<double>(point.workload_completion),
+           static_cast<double>(point.workload_lost),
+           static_cast<double>(point.workload_phase_cycles.size()));
+  }
+  wl.print();
+  for (const auto& point : record.points) {
+    if (!point.has_workload || point.workload_phase_cycles.empty()) {
+      continue;
+    }
+    constexpr std::size_t kMaxShown = 12;
+    std::printf("  offered %g phase completion:", point.offered);
+    const std::size_t shown =
+        std::min(kMaxShown, point.workload_phase_cycles.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::printf(" %lld",
+                  static_cast<long long>(point.workload_phase_cycles[i]));
+    }
+    if (point.workload_phase_cycles.size() > kMaxShown) {
+      std::printf(" ... (%zu phases)", point.workload_phase_cycles.size());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
 void print_run(const RunRecord& record) {
   util::print_banner(record.label);
   sweep_table(record).print();
+  print_workload_completion(record);
   if (record.saturation_estimate > 0.0) {
     std::printf("saturation plateau (bisected, %zu probes): %.3f "
                 "flits/cycle/endpoint\n",
@@ -148,6 +190,8 @@ void print_report(const RunRecord& record, int top_links) {
   if (!record.status.empty()) {
     std::printf("status: %s\n", record.status.c_str());
   }
+
+  print_workload_completion(record);
 
   bool any_telemetry = false;
   for (const auto& point : record.points) {
@@ -268,6 +312,16 @@ void append_record_json(util::JsonWriter& json, const RunRecord& record) {
         json.value(cycles);
       }
       json.end_array();
+      json.end_object();
+    }
+    if (point.has_workload) {
+      // Integer-exact completion accounting: diffed at rtol 0, see
+      // docs/schemas.md "Workload block".
+      json.key("workload").begin_object();
+      json.key("done").value(point.workload_done);
+      json.key("completion_cycles").value(point.workload_completion);
+      json.key("lost").value(point.workload_lost);
+      write_int_array(json, "phase_cycles", point.workload_phase_cycles);
       json.end_object();
     }
     if (point.telemetry.present) write_point_telemetry(json, point.telemetry);
@@ -418,6 +472,23 @@ RunRecord parse_run_record(const util::JsonValue& r) {
               } else {
                 throw std::invalid_argument("unknown degradation key '" +
                                             dkey + "'");
+              }
+            }
+          } else if (pkey == "workload") {
+            point.has_workload = true;
+            for (const auto& [wkey, wvalue] : pvalue.members()) {
+              if (wkey == "done") point.workload_done = wvalue.as_bool();
+              else if (wkey == "completion_cycles") {
+                point.workload_completion = wvalue.as_int();
+              } else if (wkey == "lost") {
+                point.workload_lost = wvalue.as_int();
+              } else if (wkey == "phase_cycles") {
+                for (const auto& c : wvalue.items()) {
+                  point.workload_phase_cycles.push_back(c.as_int());
+                }
+              } else {
+                throw std::invalid_argument("unknown workload key '" + wkey +
+                                            "'");
               }
             }
           } else if (pkey == "telemetry") {

@@ -561,6 +561,9 @@ Scenario ScenarioRegistry::make(const ScenarioSpec& spec) {
     std::string out = "scenario {topology='" + spec.topology +
                       "', routing='" + spec.routing + "', pattern='" +
                       spec.pattern + "'";
+    if (!spec.workload.empty()) {
+      out += ", workload='" + spec.workload + "'";
+    }
     if (!spec.failure.empty()) {
       out += ", failure='" + spec.failure.canonical() + "'";
     }
@@ -578,16 +581,24 @@ Scenario ScenarioRegistry::make(const ScenarioSpec& spec) {
     const std::uint64_t seed =
         spec.pattern_seed != 0 ? spec.pattern_seed : spec.config.seed;
     scenario.pattern = make_pattern(*scenario.setup, spec.pattern, seed);
+    if (!spec.workload.empty()) {
+      scenario.workload = sim::Workload::make(
+          spec.workload,
+          static_cast<int>(scenario.setup->terminals().size()), seed);
+    }
     scenario.config = spec.config;
     // Live faults run against whatever graph the Network sees — i.e. the
     // (possibly statically damaged) setup graph, so a schedule over a
     // FailureSpec'd topology validates against the survivor links.
     scenario.config.faults = spec.schedule.compile(scenario.setup->graph);
+    const std::string traffic_name = scenario.workload
+                                         ? scenario.workload->name()
+                                         : scenario.pattern->name();
     scenario.label = !spec.name.empty()
                          ? spec.name
                          : scenario.setup->name + " / " +
                                scenario.routing->name() + " / " +
-                               scenario.pattern->name();
+                               traffic_name;
     return scenario;
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument(describe() + ": " + e.what());

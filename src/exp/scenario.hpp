@@ -187,6 +187,11 @@ struct ScenarioSpec {
   std::string topology;
   std::string routing = "MIN";
   std::string pattern = "uniform";
+  /// Non-empty selects workload mode: a sim::Workload spec (see
+  /// Workload::make) compiled over the topology's terminals. The pattern
+  /// then only provides the terminal -> router map, and the label /
+  /// record identity use the workload's canonical name.
+  std::string workload;
   FailureSpec failure;             ///< applied before routing state is built
   FailureSchedule schedule;        ///< applied live, during execution
   sim::SimConfig config;
@@ -200,6 +205,7 @@ struct Scenario {
   std::shared_ptr<const NetSetup> setup;
   std::shared_ptr<const sim::RoutingAlgorithm> routing;
   std::shared_ptr<const sim::TrafficPattern> pattern;
+  std::shared_ptr<const sim::Workload> workload;  ///< null: pattern mode
   sim::SimConfig config;
   std::string label;
 };

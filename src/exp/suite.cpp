@@ -32,6 +32,10 @@ struct EntryState {
   std::vector<std::string> topologies;
   std::vector<std::string> routings = {"MIN"};
   std::vector<std::string> patterns = {"uniform"};
+  bool patterns_set = false;  ///< an entry (or defaults) wrote 'pattern'
+  /// Workload axis: "" = pattern mode (the default single combination).
+  /// Non-empty specs select workload mode — see sim::Workload::make.
+  std::vector<std::string> workloads = {""};
   std::vector<FailureSpec> failures = {FailureSpec{}};
   std::vector<FailureSchedule> schedules = {FailureSchedule{}};
   double timeout_seconds = 0.0;
@@ -275,6 +279,12 @@ void apply_entry_key(const std::string& key, const JsonValue& value,
       state.routings = parse_string_axis(value, ctx);
     } else if (key == "pattern") {
       state.patterns = parse_string_axis(value, ctx);
+      state.patterns_set = true;
+    } else if (key == "workloads") {
+      state.workloads = parse_string_axis(value, ctx);
+      for (const std::string& w : state.workloads) {
+        if (w.empty()) bad(ctx, "workload specs must not be empty");
+      }
     } else if (key == "failures") {
       if (!value.is_array() || value.size() == 0) {
         bad(ctx, "expected a non-empty array of failure objects");
@@ -333,49 +343,70 @@ void expand_entry(const EntryState& state, const std::string& name,
   if (!state.saturation && state.loads.empty()) {
     bad(context, "needs 'loads' or 'saturation_search'");
   }
+  const bool has_workloads =
+      state.workloads.size() > 1 || !state.workloads.front().empty();
+  if (has_workloads) {
+    // In workload mode the workload IS the traffic — a pattern axis on
+    // the same entry would silently lose, so it is a hard error.
+    if (state.patterns_set) {
+      bad(context,
+          "'pattern' and 'workloads' are mutually exclusive (the workload "
+          "defines the traffic; terminals still map through the default "
+          "uniform pattern)");
+    }
+    if (state.saturation) {
+      bad(context,
+          "'saturation_search' cannot run workloads (a workload completes "
+          "at any load — sweep fixed loads instead)");
+    }
+  }
   // Cross product, topology-major, schedules innermost — document order.
   for (const auto& topology : state.topologies) {
     for (const auto& routing : state.routings) {
       for (const auto& pattern : state.patterns) {
-        for (const auto& failure : state.failures) {
-          for (const auto& schedule : state.schedules) {
-            SuiteCase cs;
-            cs.spec.topology = topology;
-            cs.spec.routing = routing;
-            cs.spec.pattern = pattern;
-            cs.spec.failure = failure;
-            cs.spec.schedule = schedule;
-            cs.spec.config = state.config;
-            cs.spec.routing_options.ugal_threshold = state.ugal_threshold;
-            cs.spec.pattern_seed = state.pattern_seed;
-            if (!name.empty()) {
-              // Discriminate only the axes that actually vary, so a
-              // single-combination entry keeps its bare name.
-              std::string suffix;
-              const auto add = [&suffix](const std::string& part) {
-                suffix += suffix.empty() ? " [" : " ";
-                suffix += part;
-              };
-              if (state.topologies.size() > 1) add(topology);
-              if (state.routings.size() > 1) add(routing);
-              if (state.patterns.size() > 1) add(pattern);
-              if (state.failures.size() > 1) {
-                add(failure.empty() ? "intact" : failure.canonical());
+        for (const auto& workload : state.workloads) {
+          for (const auto& failure : state.failures) {
+            for (const auto& schedule : state.schedules) {
+              SuiteCase cs;
+              cs.spec.topology = topology;
+              cs.spec.routing = routing;
+              cs.spec.pattern = pattern;
+              cs.spec.workload = workload;
+              cs.spec.failure = failure;
+              cs.spec.schedule = schedule;
+              cs.spec.config = state.config;
+              cs.spec.routing_options.ugal_threshold = state.ugal_threshold;
+              cs.spec.pattern_seed = state.pattern_seed;
+              if (!name.empty()) {
+                // Discriminate only the axes that actually vary, so a
+                // single-combination entry keeps its bare name.
+                std::string suffix;
+                const auto add = [&suffix](const std::string& part) {
+                  suffix += suffix.empty() ? " [" : " ";
+                  suffix += part;
+                };
+                if (state.topologies.size() > 1) add(topology);
+                if (state.routings.size() > 1) add(routing);
+                if (state.patterns.size() > 1) add(pattern);
+                if (state.workloads.size() > 1) add(workload);
+                if (state.failures.size() > 1) {
+                  add(failure.empty() ? "intact" : failure.canonical());
+                }
+                if (state.schedules.size() > 1) {
+                  add(schedule.empty() ? "static" : schedule.canonical());
+                }
+                if (!suffix.empty()) suffix += "]";
+                cs.spec.name = name + suffix;
               }
-              if (state.schedules.size() > 1) {
-                add(schedule.empty() ? "static" : schedule.canonical());
-              }
-              if (!suffix.empty()) suffix += "]";
-              cs.spec.name = name + suffix;
+              cs.loads = state.loads;
+              cs.saturation = state.saturation;
+              cs.sat_lo = state.sat_lo;
+              cs.sat_hi = state.sat_hi;
+              cs.sat_tol = state.sat_tol;
+              cs.sat_iters = state.sat_iters;
+              cs.timeout_seconds = state.timeout_seconds;
+              suite.cases.push_back(std::move(cs));
             }
-            cs.loads = state.loads;
-            cs.saturation = state.saturation;
-            cs.sat_lo = state.sat_lo;
-            cs.sat_hi = state.sat_hi;
-            cs.sat_tol = state.sat_tol;
-            cs.sat_iters = state.sat_iters;
-            cs.timeout_seconds = state.timeout_seconds;
-            suite.cases.push_back(std::move(cs));
           }
         }
       }
@@ -488,7 +519,15 @@ struct CaseState {
 };
 
 void stamp_pattern_seed(const ScenarioSpec& spec, RunRecord& record) {
-  if (pattern_uses_seed(spec.pattern)) {
+  // Workload mode: the workload is the traffic, so ITS seed usage decides
+  // (bursty/hotspot draw destinations from the seed; collectives do not).
+  // Decide off the record's pattern — the workload's canonical name, which
+  // a trace replay keeps from its header — so a captured seeded workload
+  // and its replay stamp the same identity.
+  const bool seeded = spec.workload.empty()
+                          ? pattern_uses_seed(spec.pattern)
+                          : sim::workload_uses_seed(record.pattern);
+  if (seeded) {
     record.pattern_seed =
         spec.pattern_seed != 0 ? spec.pattern_seed : spec.config.seed;
   }
@@ -501,7 +540,8 @@ void stamp_pattern_seed(const ScenarioSpec& spec, RunRecord& record) {
 RunRecord skeleton_record(const SuiteCase& cs, const Scenario& scenario) {
   RunRecord record = prepare_sweep_record(
       *scenario.setup, *scenario.routing, *scenario.pattern, scenario.config,
-      cs.saturation ? 0 : cs.loads.size(), scenario.label);
+      cs.saturation ? 0 : cs.loads.size(), scenario.label,
+      scenario.workload.get());
   for (std::size_t i = 0; i < record.points.size(); ++i) {
     record.points[i].offered = cs.loads[i];
   }
@@ -691,7 +731,8 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
         if (!cs.saturation) {
           states[i].record = prepare_sweep_record(
               *scenario.setup, *scenario.routing, *scenario.pattern,
-              scenario.config, cs.loads.size(), scenario.label);
+              scenario.config, cs.loads.size(), scenario.label,
+              scenario.workload.get());
         }
       }
 
@@ -765,7 +806,8 @@ std::size_t SuiteRunner::run(const Suite& suite, ResultLog& log,
                   *st.scenario.setup, *st.scenario.routing,
                   *st.scenario.pattern, st.scenario.config, cs.loads,
                   [&st] { return st.next_point.fetch_add(1); },
-                  st.record.points, local, cs.timeout_seconds);
+                  st.record.points, local, cs.timeout_seconds,
+                  st.scenario.workload.get());
             }
           } catch (...) {
             lock.lock();

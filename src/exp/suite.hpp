@@ -1,6 +1,7 @@
 // Declarative scenario suites (schema "polarfly-suite/1"): one JSON
-// document describes a whole {topology x routing x pattern x failure}
-// experiment matrix, and one runner executes it through the sweep engine.
+// document describes a whole {topology x routing x pattern-or-workload x
+// failure x schedule} experiment matrix, and one runner executes it
+// through the sweep engine.
 // Every paper figure/table that sweeps is a suite entry; the committed
 // suites/*.json files make the full evaluation reproducible from
 // `pf_sim suite <file> --json <out>`.
@@ -21,10 +22,12 @@
 //     ]
 //   }
 //
-// topology / routing / pattern accept a string or an array of strings;
-// failures is an array of failure objects ({} = intact). Each entry
-// expands to the cross product of its four axes, in document order
-// (topology-major, failures innermost). Unknown keys anywhere are hard
+// topology / routing / pattern / workloads accept a string or an array
+// of strings; failures is an array of failure objects ({} = intact).
+// "workloads" selects workload mode (dependency-aware traffic, see
+// sim::Workload) and is mutually exclusive with "pattern". Each entry
+// expands to the cross product of its axes, in document order
+// (topology-major, schedules innermost). Unknown keys anywhere are hard
 // errors, so schema drift fails loudly instead of silently ignoring a
 // misspelled axis.
 #pragma once

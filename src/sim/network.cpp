@@ -30,12 +30,14 @@ bool parse_engine(const std::string& name, SimEngine& out) {
 Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
                  const RoutingAlgorithm& routing,
                  const TrafficPattern& pattern, const SimConfig& config,
-                 double load)
+                 double load, const Workload* workload)
     : graph_(g),
       routing_(routing),
       pattern_(pattern),
       config_(config),
       load_(load),
+      workload_(workload),
+      workload_mode_(workload != nullptr),
       endpoints_(endpoints),
       rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
   const int n = g.num_vertices();
@@ -71,6 +73,13 @@ Network::Network(const graph::Graph& g, const std::vector<int>& endpoints,
   terminals_ = terminal_routers(endpoints_);
   terminal_eject_free_.assign(terminals_.size(), 0);
   terminal_inject_free_.assign(terminals_.size(), 0);
+  if (workload_mode_ &&
+      workload_->num_ranks() != static_cast<int>(terminals_.size())) {
+    throw std::invalid_argument(
+        "Network: workload " + workload_->name() + " has " +
+        std::to_string(workload_->num_ranks()) + " ranks but the topology "
+        "provides " + std::to_string(terminals_.size()) + " terminals");
+  }
 
   // VC organization: one class per possible hop, sub-VCs split the rest.
   classes_ = std::max(1, std::min(config_.vcs, routing_.max_hops()));
@@ -211,6 +220,19 @@ void Network::reset_state() {
 }
 
 void Network::reset_injection_full() {
+  if (workload_mode_) {
+    // Workload mode replaces the Bernoulli schedule entirely: fresh
+    // per-terminal RNG streams (still consumed for sub-VC draws), an
+    // empty heap (wl_reset seeds it), and never the linear scan — the
+    // heap pops entries <= cycle_ while the scan matches == cycle_, and
+    // delivery-triggered wakes would diverge under the scan.
+    scan_mode_ = false;
+    inj_log1m_p_ = 0.0;
+    terminal_rng_ = inj_snap0_;
+    std::fill(next_inject_.begin(), next_inject_.end(), kNeverInject);
+    inject_heap_.clear();
+    return;
+  }
   // Rebuild every terminal's injection stream and schedule. The first
   // wakeup is sampled as if the previous injection happened at cycle -1,
   // so P(first injection at cycle 0) is exactly the per-cycle rate.
@@ -247,6 +269,16 @@ void Network::reset_injection_full() {
 }
 
 void Network::reset_injection_fast() {
+  if (workload_mode_) {
+    // Identical to the full path: the workload schedule has no captured
+    // first draw to restore.
+    scan_mode_ = false;
+    inj_log1m_p_ = 0.0;
+    terminal_rng_ = inj_snap0_;
+    std::fill(next_inject_.begin(), next_inject_.end(), kNeverInject);
+    inject_heap_.clear();
+    return;
+  }
   // Same schedule as reset_injection_full, without re-deriving any RNG
   // stream: restore the captured states and recompute each first gap
   // from the captured log1p(-u) — injection_gap's exact floor(log1p(-u)
@@ -434,6 +466,7 @@ void Network::reset_scalars() {
     window_total_ = 0;
     degraded_oracle_.reset();
   }
+  if (workload_mode_) wl_reset();
 }
 
 double Network::first_hop_occupancy(int u, int v) const {
@@ -482,6 +515,10 @@ void Network::schedule_terminal(int t, std::int64_t at) {
 }
 
 void Network::process_due_terminal(int t) {
+  if (workload_mode_) {
+    wl_process_due(t);
+    return;
+  }
   const auto ti = static_cast<std::size_t>(t);
   if (has_timeline_ &&
       router_dead_[static_cast<std::size_t>(terminals_[ti])]) {
@@ -572,6 +609,7 @@ void Network::eject(int packet_id) {
     if (telemetry_) telemetry_->on_delivery(latency, packet.route.len - 1);
   }
   if (telemetry_ && packet.trace_id >= 0) trace_deliver(packet, latency);
+  if (workload_mode_) wl_on_delivery(packet);
   release_packet(packet_id);
 }
 
@@ -671,6 +709,7 @@ void Network::flush_dead_channel(int channel) {
         if (telemetry_ && packet.trace_id >= 0) {
           trace_drop(packet, "drop_fault");
         }
+        if (workload_mode_) wl_on_lost(packet);
         release_packet(packet_id);
       }
       ++flushed;
@@ -789,6 +828,7 @@ void Network::drop_unreachable(int packet_id, int at_router) {
   if (telemetry_ && packet.trace_id >= 0) {
     trace_drop(packet, "drop_unreachable");
   }
+  if (workload_mode_) wl_on_lost(packet);
   release_packet(packet_id);
 }
 
@@ -1312,7 +1352,257 @@ void Network::run_phases_event() {
   if (telemetry_) telemetry_->flush_trace();
 }
 
+void Network::wl_reset() {
+  const int ranks = workload_->num_ranks();
+  const int phases = workload_->num_phases();
+  wl_phase_.assign(static_cast<std::size_t>(ranks), 0);
+  wl_next_msg_.assign(static_cast<std::size_t>(ranks), 0);
+  wl_sent_.assign(static_cast<std::size_t>(ranks), 0);
+  wl_unacked_.assign(static_cast<std::size_t>(ranks), 0);
+  wl_next_ok_.assign(static_cast<std::size_t>(ranks), 0);
+  wl_recv_.assign(
+      static_cast<std::size_t>(ranks) * static_cast<std::size_t>(phases), 0);
+  wl_phase_left_.assign(static_cast<std::size_t>(phases), ranks);
+  wl_phase_cycles_.assign(static_cast<std::size_t>(phases), -1);
+  wl_ranks_done_ = 0;
+  wl_done_ = false;
+  wl_completion_cycle_ = -1;
+  wl_lost_ = 0;
+  // Deterministic pacing: the offered-load knob becomes the per-rank
+  // injection period, ceil(packet_size / load) cycles between packets
+  // (load >= 1 or <= 0 both mean back-to-back).
+  wl_pace_ = config_.packet_size;
+  if (load_ > 0.0 && load_ < 1.0) {
+    wl_pace_ = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(config_.packet_size) / load_));
+  }
+  // Ranks whose leading phases are trivially complete (no sends, no
+  // expected receives) advance immediately; wl_advance schedules their
+  // first real send. Ranks still in their initial phase get their first
+  // wake here.
+  for (int r = 0; r < ranks; ++r) {
+    wl_advance(r);
+    if (wl_phase_[static_cast<std::size_t>(r)] == 0 &&
+        !workload_->sends(r, 0).empty()) {
+      schedule_terminal(
+          r, std::max<std::int64_t>(0, workload_->sends(r, 0)[0].release));
+    }
+  }
+}
+
+void Network::wl_process_due(int t) {
+  const auto ti = static_cast<std::size_t>(t);
+  if (has_timeline_ &&
+      router_dead_[static_cast<std::size_t>(terminals_[ti])]) {
+    return;  // no injection, no reschedule: the router is down
+  }
+  const int phases = workload_->num_phases();
+  const int phase = wl_phase_[ti];
+  if (phase >= phases) return;  // stale wake: rank already done
+  const auto& msgs = workload_->sends(t, phase);
+  if (wl_next_msg_[ti] >= static_cast<std::int32_t>(msgs.size())) {
+    return;  // all sent; a delivery will advance the phase and rearm
+  }
+  const WorkloadMessage& msg =
+      msgs[static_cast<std::size_t>(wl_next_msg_[ti])];
+  std::int64_t at = std::max(msg.release, wl_next_ok_[ti]);
+  // Same finite source queue as the Bernoulli path.
+  const std::int64_t max_backlog =
+      static_cast<std::int64_t>(16) * config_.packet_size;
+  if (terminal_inject_free_[ti] > cycle_ + max_backlog) {
+    at = std::max(at, terminal_inject_free_[ti] - max_backlog);
+  }
+  if (at > cycle_) {
+    schedule_terminal(t, at);
+    return;
+  }
+  int id;
+  if (free_packets_.empty()) {
+    id = static_cast<int>(packets_.size());
+    packets_.emplace_back();
+  } else {
+    id = free_packets_.back();
+    free_packets_.pop_back();
+    packets_[static_cast<std::size_t>(id)] = Packet{};
+  }
+  util::Rng& rng = terminal_rng_[ti];
+  Packet& packet = packets_[static_cast<std::size_t>(id)];
+  packet.src_router = terminals_[ti];
+  packet.dst_terminal = msg.dst;
+  packet.src_terminal = t;
+  packet.wl_phase = phase;
+  packet.subvc =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(subvcs_)));
+  packet.birth = cycle_;
+  packet.ready = std::max(cycle_, terminal_inject_free_[ti]);
+  terminal_inject_free_[ti] = packet.ready + config_.packet_size;
+  packet.measured = measuring_;
+  if (packet.measured) ++measured_generated_;
+  injection_pool_[static_cast<std::size_t>(packet.src_router)].push_back(id);
+  backlog_inc(packet.src_router);
+  if (event_mode_) wake_router(packet.src_router, cycle_);
+  if (telemetry_) {
+    telemetry_->on_backlog(
+        packet.src_router,
+        router_backlog_[static_cast<std::size_t>(packet.src_router)]);
+    if (telemetry_->tracing() && telemetry_->sample(t, packet.birth)) {
+      packet.trace_id = telemetry_->assign_trace_id();
+      trace_inject(packet, t);
+    }
+  }
+  ++wl_unacked_[ti];
+  wl_next_ok_[ti] = cycle_ + wl_pace_;
+  if (++wl_sent_[ti] >= msg.packets) {
+    wl_sent_[ti] = 0;
+    ++wl_next_msg_[ti];
+  }
+  if (wl_next_msg_[ti] < static_cast<std::int32_t>(msgs.size())) {
+    const WorkloadMessage& next =
+        msgs[static_cast<std::size_t>(wl_next_msg_[ti])];
+    schedule_terminal(
+        t, std::max({cycle_ + 1, wl_next_ok_[ti], next.release}));
+  }
+}
+
+void Network::wl_advance(int r) {
+  const auto ri = static_cast<std::size_t>(r);
+  const int phases = workload_->num_phases();
+  bool advanced = false;
+  while (wl_phase_[ri] < phases) {
+    const int p = wl_phase_[ri];
+    if (wl_next_msg_[ri] <
+        static_cast<std::int32_t>(workload_->sends(r, p).size())) {
+      break;  // sends pending
+    }
+    if (wl_unacked_[ri] != 0) break;  // sends in flight
+    if (wl_recv_[ri * static_cast<std::size_t>(phases) +
+                 static_cast<std::size_t>(p)] <
+        workload_->expected_recv(r, p)) {
+      break;  // still waiting on this phase's receives
+    }
+    wl_phase_[ri] = p + 1;
+    wl_next_msg_[ri] = 0;
+    wl_sent_[ri] = 0;
+    advanced = true;
+    if (--wl_phase_left_[static_cast<std::size_t>(p)] == 0) {
+      wl_phase_cycles_[static_cast<std::size_t>(p)] = cycle_;
+    }
+    if (wl_phase_[ri] >= phases &&
+        ++wl_ranks_done_ == workload_->num_ranks()) {
+      wl_done_ = true;
+      wl_completion_cycle_ = cycle_;
+    }
+  }
+  if (advanced && wl_phase_[ri] < phases) {
+    const auto& msgs = workload_->sends(r, wl_phase_[ri]);
+    if (!msgs.empty()) {
+      schedule_terminal(
+          r, std::max({cycle_, wl_next_ok_[ri], msgs[0].release}));
+    }
+  }
+}
+
+void Network::wl_on_delivery(const Packet& packet) {
+  const int phases = workload_->num_phases();
+  ++wl_recv_[static_cast<std::size_t>(packet.dst_terminal) *
+                 static_cast<std::size_t>(phases) +
+             static_cast<std::size_t>(packet.wl_phase)];
+  --wl_unacked_[static_cast<std::size_t>(packet.src_terminal)];
+  wl_advance(packet.dst_terminal);
+  wl_advance(packet.src_terminal);
+}
+
+void Network::wl_on_lost(const Packet& packet) {
+  // Count the loss as a receive and an ack: phase gating must terminate
+  // even when faults eat packets, and the loss is reported separately.
+  ++wl_lost_;
+  wl_on_delivery(packet);
+}
+
+void Network::run_phases_workload() {
+  using clock = std::chrono::steady_clock;
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const auto t0 = clock::now();
+
+  // The whole run is one measured window: every packet is application
+  // traffic, and completion time is the headline statistic.
+  measuring_ = true;
+  measure_start_ = 0;
+  measure_end_ = kMax;
+  last_delivery_cycle_ = cycle_;
+  std::int64_t stall_after = kMax;
+  if (config_.stall_cycles > 0) {
+    stall_after = config_.stall_cycles;
+  } else if (config_.stall_cycles == 0 && config_.drain_cycles > 0) {
+    stall_after = config_.drain_cycles;
+  }
+  const std::int64_t budget = static_cast<std::int64_t>(config_.warmup_cycles) +
+                              config_.measure_cycles + config_.drain_cycles;
+
+  if (event_mode_) {
+    // Same agenda resync as run_phases_event: direct step() calls may
+    // have preceded us; after reset() this is a no-op.
+    const int n = graph_.num_vertices();
+    std::fill(in_nonempty_.begin(), in_nonempty_.end(), 0);
+    for (std::size_t c = 0; c < channel_target_.size(); ++c) {
+      if (vc_nonempty_[c] != 0) {
+        in_nonempty_[static_cast<std::size_t>(channel_target_[c])] |=
+            1ULL << channel_in_bit_[c];
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (router_backlog_[static_cast<std::size_t>(v)] != 0) {
+        wake_now_[static_cast<std::size_t>(v) >> 6] |=
+            1ULL << (static_cast<unsigned>(v) & 63);
+      }
+    }
+    while (!wl_done_ && cycle_ < budget) {
+      const bool outstanding =
+          measured_generated_ > measured_delivered_ + measured_lost_;
+      std::int64_t stop = budget;
+      if (outstanding && stall_after != kMax) {
+        stop = std::min(stop, last_delivery_cycle_ + stall_after);
+      }
+      const std::int64_t act = next_activity_cycle();
+      const std::int64_t target = std::min(act, stop);
+      if (target > cycle_) {
+        if (telemetry_) telemetry_->advance_idle(target - cycle_);
+        if (has_timeline_) advance_window_gap(cycle_, target);
+        cycle_ = target;
+      }
+      if (outstanding && cycle_ - last_delivery_cycle_ >= stall_after) {
+        stalled_ = true;
+        break;
+      }
+      if (cycle_ >= budget || cycle_ < act) break;
+      process_event_cycle();
+      if (measured_generated_ > measured_delivered_ + measured_lost_ &&
+          cycle_ - last_delivery_cycle_ >= stall_after) {
+        stalled_ = true;
+        break;
+      }
+    }
+  } else {
+    while (!wl_done_ && cycle_ < budget) {
+      step();
+      if (measured_generated_ > measured_delivered_ + measured_lost_ &&
+          cycle_ - last_delivery_cycle_ >= stall_after) {
+        stalled_ = true;
+        break;
+      }
+    }
+  }
+  measuring_ = false;
+  measure_seconds_ =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  if (telemetry_) telemetry_->flush_trace();
+}
+
 void Network::run_phases() {
+  if (workload_mode_) {
+    run_phases_workload();
+    return;
+  }
   if (event_mode_) {
     run_phases_event();
     return;
@@ -1372,6 +1662,14 @@ void Network::run_phases() {
 }
 
 double Network::accepted_load() const {
+  if (workload_mode_) {
+    // The whole run is the measure window; normalize by the cycles the
+    // workload actually used.
+    if (terminals_.empty() || cycle_ == 0) return 0.0;
+    return static_cast<double>(measured_flits_ejected_) /
+           (static_cast<double>(cycle_) *
+            static_cast<double>(terminals_.size()));
+  }
   if (terminals_.empty() || config_.measure_cycles == 0) return 0.0;
   return static_cast<double>(measured_flits_ejected_) /
          (static_cast<double>(config_.measure_cycles) *
@@ -1395,6 +1693,9 @@ double Network::p99_latency() const {
 }
 
 bool Network::converged() const {
+  if (workload_mode_) {
+    return wl_done_ && measured_delivered_ == measured_generated_;
+  }
   return measured_delivered_ == measured_generated_;
 }
 

@@ -48,6 +48,7 @@
 #include "graph/graph.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/traffic.hpp"
+#include "sim/workload.hpp"
 #include "util/rng.hpp"
 
 namespace pf::sim {
@@ -170,9 +171,17 @@ class Network {
   /// and `config.vcs` must cover one VC class per hop of `routing`
   /// (deadlock freedom) — both throw std::invalid_argument with the
   /// offending numbers instead of failing mid-simulation.
+  /// A non-null `workload` switches the network into workload mode: the
+  /// Bernoulli injection process is replaced by the workload's compiled,
+  /// phase-gated send lists (pattern still provides the terminal ->
+  /// router map), run_phases() runs until the workload completes or the
+  /// warmup + measure + drain cycle budget is exhausted, and the
+  /// workload_* accessors report completion. The workload must outlive
+  /// the network and have num_ranks() == the terminal count.
   Network(const graph::Graph& g, const std::vector<int>& endpoints,
           const RoutingAlgorithm& routing, const TrafficPattern& pattern,
-          const SimConfig& config, double load);
+          const SimConfig& config, double load,
+          const Workload* workload = nullptr);
   ~Network();  // out of line: degraded_oracle_ is incomplete here
 
   const graph::Graph& graph() const { return graph_; }
@@ -272,6 +281,24 @@ class Network {
            !channel_dead_[static_cast<std::size_t>(channel_id(u, v))];
   }
 
+  // --- workload mode (valid when a workload was passed at construction) ---
+  bool workload_active() const { return workload_mode_; }
+  /// True when every rank progressed through every phase.
+  bool workload_done() const { return wl_done_; }
+  /// Cycles until the last rank finished its last phase, or the cycles
+  /// actually simulated when the workload did not complete in budget.
+  std::int64_t workload_completion_cycles() const {
+    return wl_done_ ? wl_completion_cycle_ : cycle_;
+  }
+  /// Workload packets lost to faults (accounted as received so phase
+  /// gating terminates; reported so the loss is never silent).
+  std::int64_t workload_lost() const { return wl_lost_; }
+  /// Per-phase completion cycle (the cycle the last rank left the
+  /// phase); -1 for phases that never completed.
+  const std::vector<std::int64_t>& workload_phase_cycles() const {
+    return wl_phase_cycles_;
+  }
+
  private:
   struct Packet {
     Route route;            ///< empty until first allocation (lazy routing)
@@ -284,6 +311,8 @@ class Network {
     std::int64_t ready = 0;  ///< head-arrival time at the current router
     bool measured = false;
     std::int32_t trace_id = -1;  ///< >= 0 when sampled into the trace
+    std::int32_t src_terminal = -1;  ///< sending rank (workload mode)
+    std::int32_t wl_phase = 0;       ///< sender's phase (workload mode)
   };
 
   int channel_id(int u, int v) const;
@@ -412,6 +441,28 @@ class Network {
   /// Discards a packet stranded with no live path.
   void drop_unreachable(int packet_id, int at_router);
 
+  // --- workload mode (all no-ops when workload_mode_ is false) ---
+  /// Rebuilds the per-rank progression state and schedules each rank's
+  /// first eligible send (called from reset_scalars).
+  void wl_reset();
+  /// Terminal t's due wake in workload mode: inject the next eligible
+  /// packet of the current phase, or reschedule for its release/pacing
+  /// time. Idempotent — stale heap entries are harmless.
+  void wl_process_due(int t);
+  /// Advances rank r across every phase whose sends are all delivered
+  /// and whose expected receives have arrived, stamping per-phase and
+  /// workload completion cycles; schedules r's next send on entry into
+  /// a phase with messages.
+  void wl_advance(int r);
+  /// A workload packet will never arrive (fault drop): account it as
+  /// received/acked so phase gating still terminates, and count it.
+  void wl_on_lost(const Packet& packet);
+  /// Delivery bookkeeping shared by eject: receive + ack counters, then
+  /// phase advancement for receiver and sender.
+  void wl_on_delivery(const Packet& packet);
+  /// Workload-mode run_phases body (both engines, identical schedules).
+  void run_phases_workload();
+
   // --- telemetry/trace helpers (no-ops unless telemetry_ is live) ---
   /// Maps a directed channel id back to its (upstream, downstream) pair.
   std::pair<int, int> channel_endpoints(std::size_t channel) const;
@@ -427,6 +478,26 @@ class Network {
   const TrafficPattern& pattern_;
   SimConfig config_;
   double load_ = 0.0;
+
+  // Workload mode: compiled sends replace the Bernoulli process. All
+  // progression state is rank-indexed (rank == terminal index); wl_recv_
+  // is a flat ranks x phases table because receivers can run arbitrarily
+  // far ahead of a slow sender through zero-expectation phases.
+  const Workload* workload_ = nullptr;
+  bool workload_mode_ = false;
+  std::int64_t wl_pace_ = 1;  ///< min cycles between a rank's injections
+  std::vector<std::int32_t> wl_phase_;     ///< current phase per rank
+  std::vector<std::int32_t> wl_next_msg_;  ///< send cursor within phase
+  std::vector<std::int32_t> wl_sent_;      ///< packets sent of cursor msg
+  std::vector<std::int64_t> wl_unacked_;   ///< in-flight packets per rank
+  std::vector<std::int64_t> wl_recv_;      ///< rank * phases + phase
+  std::vector<std::int64_t> wl_next_ok_;   ///< pacing floor per rank
+  std::vector<std::int32_t> wl_phase_left_;   ///< ranks not yet past phase
+  std::vector<std::int64_t> wl_phase_cycles_; ///< completion cycle, -1 open
+  int wl_ranks_done_ = 0;
+  bool wl_done_ = false;
+  std::int64_t wl_completion_cycle_ = -1;
+  std::int64_t wl_lost_ = 0;
 
   static constexpr std::int64_t kNeverInject =
       std::int64_t{1} << 62;  ///< sentinel: terminal generates no traffic

@@ -243,10 +243,27 @@ TEST(Traffic, PatternsArePermutations) {
   check_permutation(sim::PermutationTraffic::tornado(terminals));
   check_permutation(sim::PermutationTraffic::random(terminals, 77));
   check_permutation(sim::PermutationTraffic::bit_complement(terminals));
+  const auto perm1 = sim::PermutationTraffic::at_distance(
+      fx.pf.graph(), terminals, 1, 77);
+  check_permutation(perm1);
+  EXPECT_EQ(perm1.name(), "Perm1Hop");
   const auto perm2 = sim::PermutationTraffic::at_distance(
       fx.pf.graph(), terminals, 2, 77);
   check_permutation(perm2);
   EXPECT_EQ(perm2.name(), "Perm2Hop");
+  // The permutation() accessor and destination() agree slot for slot,
+  // and Perm1Hop pairs mostly adjacent routers.
+  int at_one = 0;
+  for (int i = 0; i < t; ++i) {
+    util::Rng dummy(0);
+    const int d = perm1.destination(i, dummy);
+    EXPECT_EQ(d, perm1.permutation()[static_cast<std::size_t>(i)]);
+    if (fx.oracle.distance(terminals[static_cast<std::size_t>(i)],
+                           perm1.router_of(d)) == 1) {
+      ++at_one;
+    }
+  }
+  EXPECT_GE(at_one, t * 9 / 10);
   // Almost every pair should actually be at distance 2.
   int at_two = 0;
   for (int i = 0; i < t; ++i) {
@@ -266,6 +283,39 @@ TEST(Traffic, PatternsArePermutations) {
     EXPECT_NE(rp.destination(i, dummy), i);
   }
   (void)rng;
+}
+
+TEST(Traffic, UniformExcludesSelfAndDrawsUniformly) {
+  // Uniform traffic must never pick the source itself, and the draws
+  // must actually be uniform over the other T-1 terminals: aggregate
+  // destination counts over a fixed draw budget and chi-square them
+  // against the flat expectation. With T = 93 cells the statistic has
+  // mean ~92 and sd ~13.6; the 170 ceiling sits past five sigma, so a
+  // biased generator fails while the pinned seed keeps the test exact.
+  PfFixture fx;
+  const int t = fx.pattern.num_terminals();
+  ASSERT_EQ(t, 93);
+  const int draws_per_src = 400;
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(t), 0);
+  util::Rng rng(0xc0ffeeULL);
+  for (int src = 0; src < t; ++src) {
+    for (int k = 0; k < draws_per_src; ++k) {
+      const int d = fx.pattern.destination(src, rng);
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, t);
+      ASSERT_NE(d, src);
+      ++counts[static_cast<std::size_t>(d)];
+    }
+  }
+  // Every destination is reachable from t - 1 sources at rate
+  // draws_per_src / (t - 1), so the per-cell expectation is flat.
+  const double expected = static_cast<double>(draws_per_src);
+  double chi2 = 0.0;
+  for (const std::int64_t c : counts) {
+    const double delta = static_cast<double>(c) - expected;
+    chi2 += delta * delta / expected;
+  }
+  EXPECT_LT(chi2, 170.0) << "chi2=" << chi2;
 }
 
 TEST(Simulator, LowLoadDelivers) {
@@ -629,6 +679,60 @@ TEST(EventEngine, GapTelemetryWindowsAreExact) {
   ASSERT_EQ(b.vc_occupancy.size(), a.vc_occupancy.size());
   for (std::size_t c = 0; c < a.vc_occupancy.size(); ++c) {
     EXPECT_EQ(b.vc_occupancy[c], a.vc_occupancy[c]) << c;
+  }
+}
+
+TEST(EventEngine, MatchesCycleCoreOnWorkloads) {
+  // Workload mode swaps the injection process for phase-gated compiled
+  // sends — a new wake source the event core must schedule exactly. Every
+  // statistic, the completion cycle, and every per-phase cycle must match
+  // the cycle core bit for bit, for deterministic collectives, seeded
+  // irregular flows, and release-gated bursts alike.
+  PfFixture fx;
+  const sim::MinimalRouting min_routing(fx.pf.graph(), fx.oracle);
+  const sim::UgalRouting ugal(fx.pf.graph(), fx.oracle, true, 2.0 / 3.0);
+  const int ranks = fx.pattern.num_terminals();
+
+  sim::SimConfig config;
+  config.warmup_cycles = 300;
+  config.measure_cycles = 500;
+  config.drain_cycles = 30000;
+  for (const char* spec :
+       {"rd_allreduce", "stencil2d", "hotspot", "bursty:bursts=2,gap=200"}) {
+    const auto w = sim::Workload::make(spec, ranks, 0xabcdULL);
+    for (const auto* routing :
+         std::initializer_list<const sim::RoutingAlgorithm*>{&min_routing,
+                                                             &ugal}) {
+      for (const double load : {0.3, 0.9}) {
+        config.engine = sim::SimEngine::Cycle;
+        sim::Network cycle_net(fx.pf.graph(), fx.endpoints, *routing,
+                               fx.pattern, config, load, w.get());
+        cycle_net.run_phases();
+
+        config.engine = sim::SimEngine::Event;
+        sim::Network event_net(fx.pf.graph(), fx.endpoints, *routing,
+                               fx.pattern, config, load, w.get());
+        event_net.run_phases();
+
+        ASSERT_TRUE(cycle_net.workload_done()) << spec;
+        EXPECT_EQ(event_net.workload_done(), cycle_net.workload_done());
+        EXPECT_EQ(event_net.workload_completion_cycles(),
+                  cycle_net.workload_completion_cycles())
+            << spec << " load " << load;
+        EXPECT_EQ(event_net.workload_phase_cycles(),
+                  cycle_net.workload_phase_cycles());
+        EXPECT_EQ(event_net.workload_lost(), cycle_net.workload_lost());
+        EXPECT_EQ(event_net.accepted_load(), cycle_net.accepted_load());
+        EXPECT_EQ(event_net.avg_latency(), cycle_net.avg_latency());
+        EXPECT_EQ(event_net.p99_latency(), cycle_net.p99_latency());
+        EXPECT_EQ(event_net.delivered_packets(),
+                  cycle_net.delivered_packets());
+        EXPECT_EQ(event_net.measured_hops(), cycle_net.measured_hops());
+        EXPECT_EQ(event_net.peak_vc_packets(), cycle_net.peak_vc_packets());
+        EXPECT_EQ(event_net.converged(), cycle_net.converged());
+        EXPECT_EQ(event_net.current_cycle(), cycle_net.current_cycle());
+      }
+    }
   }
 }
 

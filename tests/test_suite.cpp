@@ -661,6 +661,145 @@ TEST(SuiteParse, ScheduleSchemaViolationsNameTheOffender) {
   expect_error("\"timeout_seconds\": -3", ">= 0");
 }
 
+TEST(SuiteParse, WorkloadsExpandAsAnAxis) {
+  // "workloads" is a first-class expansion axis: one case per workload
+  // spec, innermost of topology/routing (schedules aside), labels
+  // discriminated by the spec string, and the resolved scenario carries
+  // the spec through to the compiled sim::Workload.
+  const char* doc = R"({
+    "schema": "polarfly-suite/1",
+    "scenarios": [
+      {"name": "w", "topology": "pf:q=5,p=1",
+       "routing": ["MIN", "UGALPF"],
+       "workloads": ["alltoall", "stencil2d:iters=2"],
+       "loads": [0.5],
+       "config": {"warmup": 100, "measure": 200, "drain": 2000}}]})";
+  const exp::Suite suite = exp::parse_suite(doc);
+  ASSERT_EQ(suite.cases.size(), 4u);
+  EXPECT_EQ(suite.cases[0].spec.name, "w [MIN alltoall]");
+  EXPECT_EQ(suite.cases[0].spec.workload, "alltoall");
+  EXPECT_EQ(suite.cases[1].spec.name, "w [MIN stencil2d:iters=2]");
+  EXPECT_EQ(suite.cases[1].spec.workload, "stencil2d:iters=2");
+  EXPECT_EQ(suite.cases[2].spec.routing, "UGALPF");
+  EXPECT_EQ(suite.cases[2].spec.workload, "alltoall");
+  // The resolved scenario compiles the workload at the topology's rank
+  // count and stamps the canonical name into the record identity.
+  const exp::Scenario scenario =
+      exp::ScenarioRegistry::shared().make(suite.cases[1].spec);
+  ASSERT_NE(scenario.workload, nullptr);
+  EXPECT_EQ(scenario.workload->name(), "stencil2d:iters=2");
+  EXPECT_EQ(scenario.workload->num_ranks(), 31);  // pf:q=5, p=1
+}
+
+TEST(SuiteParse, WorkloadSchemaViolationsNameTheOffender) {
+  const auto expect_error = [](const std::string& body,
+                               const std::string& needle) {
+    const std::string doc =
+        "{\"schema\": \"polarfly-suite/1\", \"scenarios\": "
+        "[{\"topology\": \"pf:q=5,p=1\", \"loads\": [0.5], " + body + "}]}";
+    try {
+      exp::parse_suite(doc);
+      FAIL() << "expected std::invalid_argument for " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("scenarios[0]"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  // The workload defines the traffic; an explicit pattern alongside it
+  // is a contradiction, not a merge.
+  expect_error("\"workloads\": \"alltoall\", \"pattern\": \"uniform\"",
+               "mutually exclusive");
+  expect_error("\"workloads\": [\"alltoall\", \"\"]", "workloads");
+  // A workload completes at any load — there is no saturation plateau.
+  try {
+    exp::parse_suite(
+        "{\"schema\": \"polarfly-suite/1\", \"scenarios\": "
+        "[{\"topology\": \"pf:q=5,p=1\", \"workloads\": \"alltoall\", "
+        "\"saturation_search\": {\"lo\": 0.1, \"hi\": 1.0}}]}");
+    FAIL() << "expected saturation_search rejection";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("saturation_search"),
+              std::string::npos)
+        << e.what();
+  }
+  // The engine-level guard matches: a resolved workload scenario refuses
+  // saturation_search outright.
+  exp::ScenarioSpec spec;
+  spec.topology = "pf:q=5,p=1";
+  spec.routing = "MIN";
+  spec.workload = "alltoall";
+  spec.config = quick_config();
+  const exp::Scenario scenario = exp::ScenarioRegistry::shared().make(spec);
+  EXPECT_THROW(exp::saturation_search(scenario, 0.1, 1.0, 0.05, 4),
+               std::invalid_argument);
+}
+
+TEST(SuiteRunner, ParallelSchedulerMatchesSerialOnWorkloads) {
+  // The claim-cursor scheduler must be invisible to workload cases too:
+  // serial and parallel runs of a workload matrix are bit-identical at
+  // rtol 0, including the per-workload completion block. A perturbed
+  // completion_cycles must drift even under a sloppy tolerance — the
+  // workload block is integer-exact by contract, rtol never applies.
+  const char* doc = R"({
+    "schema": "polarfly-suite/1",
+    "name": "wl-sched",
+    "scenarios": [
+      {"name": "w", "topology": "pf:q=5,p=1",
+       "routing": ["MIN", "UGALPF"],
+       "workloads": ["alltoall", "rd_allreduce", "bursty:bursts=2"],
+       "loads": [0.5],
+       "config": {"warmup": 100, "measure": 200, "drain": 20000,
+                  "seed": 779712}}]})";
+  const exp::Suite suite = exp::parse_suite(doc);
+  ASSERT_EQ(suite.cases.size(), 6u);
+
+  exp::ScheduleOptions serial;
+  serial.parallel = false;
+  exp::ResultLog serial_log;
+  exp::SuiteRunner(exp::ScenarioRegistry::shared(), serial)
+      .run(suite, serial_log);
+  ASSERT_EQ(serial_log.records().size(), suite.cases.size());
+  for (const auto& record : serial_log.records()) {
+    ASSERT_EQ(record.points.size(), 1u);
+    EXPECT_TRUE(record.points[0].has_workload) << record.label;
+    EXPECT_TRUE(record.points[0].workload_done) << record.label;
+  }
+  // The workload's canonical name is the record's pattern identity.
+  EXPECT_EQ(serial_log.records()[0].pattern, "alltoall");
+
+  exp::ResultLog parallel_log;
+  exp::SuiteRunner(exp::ScenarioRegistry::shared(), exp::ScheduleOptions{})
+      .run(suite, parallel_log);
+  exp::DiffOptions exact;
+  exact.rtol = 0.0;
+  exact.atol = 0.0;
+  exp::RunDocument serial_doc, parallel_doc;
+  serial_doc.records = serial_log.records();
+  parallel_doc.records = parallel_log.records();
+  const exp::DiffReport report =
+      exp::diff_documents(serial_doc, parallel_doc, exact);
+  EXPECT_TRUE(report.clean())
+      << (report.drifts.empty() ? "record set mismatch"
+                                : report.drifts[0].field);
+
+  // Integer-exact completion accounting: a +1 nudge drifts at any rtol.
+  exp::RunDocument nudged;
+  nudged.records = serial_log.records();
+  nudged.records[0].points[0].workload_completion += 1;
+  exp::DiffOptions sloppy;
+  sloppy.rtol = 0.5;
+  sloppy.atol = 100.0;
+  const exp::DiffReport caught =
+      exp::diff_documents(serial_doc, nudged, sloppy);
+  ASSERT_FALSE(caught.clean());
+  EXPECT_NE(caught.drifts[0].field.find("workload.completion_cycles"),
+            std::string::npos)
+      << caught.drifts[0].field;
+}
+
 TEST(SuiteRunner, ResumeReplaysTheJournalBitIdentically) {
   // The library-level resume contract behind `pf_sim suite --resume`:
   // records already present in the checkpoint journal are replayed into
